@@ -1,0 +1,70 @@
+"""Ablation A3 — partition objective: balanced (min max(k1,k2)) versus
+minimal-total (min k1+k2).
+
+The paper argues for balanced supports ("simultaneous minimization of k1
+and k2 balances supports, favoring their disjoint selection"); this
+bench quantifies the effect on recursive decomposition: balanced
+partitions produce shallower trees, min-total can give smaller leaves.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.bidec.recursive import decompose_recursive
+from repro.intervals import Interval
+from repro.logic.truthtable import TruthTable
+
+from conftest import get_table
+
+TITLE = "A3 - balanced vs min-total partition objective (recursive decomposition)"
+HEADER = f"{'objective':>10} {'avg depth':>10} {'avg gates':>10} {'avg cost':>9}"
+
+
+@pytest.mark.parametrize("objective", ["balanced", "min_total"])
+def test_a3_objective(benchmark, objective):
+    rng = random.Random(33)
+    functions = []
+    manager = BDDManager(8)
+    # Decomposable-by-construction functions: OR/XOR mixes of quadrants,
+    # plus skewed shapes (single literal against a wide block) where the
+    # two objectives genuinely diverge: min-total picks the (1, n-1)
+    # split, balanced carves the wide block.
+    for index in range(12):
+        if index % 3 == 2:
+            wide = TruthTable.random(6, rng).to_bdd(manager, [1, 2, 3, 4, 5, 6])
+            narrow = manager.var(0)
+            functions.append(manager.apply_or(narrow, wide))
+            continue
+        left = TruthTable.random(4, rng).to_bdd(manager, [0, 1, 2, 3])
+        right = TruthTable.random(4, rng).to_bdd(manager, [4, 5, 6, 7])
+        op = rng.choice(["or", "and", "xor"])
+        if op == "or":
+            functions.append(manager.apply_or(left, right))
+        elif op == "and":
+            functions.append(manager.apply_and(left, right))
+        else:
+            functions.append(manager.apply_xor(left, right))
+
+    def run():
+        trees = [
+            decompose_recursive(
+                Interval.exact(manager, f), objective=objective
+            )
+            for f in functions
+        ]
+        return trees
+
+    trees = benchmark.pedantic(run, rounds=1, iterations=1)
+    for f, tree in zip(functions, trees):
+        assert tree.function == f
+    n = len(trees)
+    avg_depth = sum(t.depth() for t in trees) / n
+    avg_gates = sum(t.num_gates() for t in trees) / n
+    avg_cost = sum(t.cost() for t in trees) / n
+    table = get_table("a3_objective", TITLE, HEADER)
+    table.row(
+        f"{objective:>10} {avg_depth:>10.2f} {avg_gates:>10.2f} {avg_cost:>9.1f}"
+        f"   ({benchmark.stats['mean']:.2f}s)"
+    )

@@ -1,0 +1,59 @@
+"""Experiment E1 — Section 3.4.1 multiplexer table.
+
+Regenerates, per control width, the columns of the paper's table: max
+BDD size of the ``Bi`` computation, time to compute it, the best balanced
+partition ``(|x1|, |x2|)`` and the number of decomposition choices
+achieving it.
+
+Paper values (widths 2..6): best partitions (4,4), (7,7), (12,12),
+(21,21), (38,38) and choices 6, 70, 12870, ~6E8, ~1.8E18.  Our widths
+2..5 reproduce the partition and choice columns *exactly*; width 6 is
+reachable with ``REPRO_E1_MAX_WIDTH=6`` and patience (pure-Python BDDs
+are ~10-100x slower than the paper's native package).
+"""
+
+import os
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.benchgen import multiplexer_function
+from repro.bidec import or_partition_space
+from repro.intervals import Interval
+
+from conftest import get_table
+
+MAX_WIDTH = int(os.environ.get("REPRO_E1_MAX_WIDTH", "4"))
+WIDTHS = list(range(2, MAX_WIDTH + 1))
+
+TITLE = "E1 - Bi computation for multiplexers (paper Section 3.4.1 table)"
+HEADER = (
+    f"{'ctrl':>5} {'inputs':>7} {'Bi size':>8} {'best part.':>12} "
+    f"{'choices':>16} {'time(s)':>9}"
+)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_e1_mux_row(benchmark, width):
+    manager = BDDManager()
+    f, control, data = multiplexer_function(manager, width)
+    interval = Interval.exact(manager, f)
+
+    def compute():
+        space = or_partition_space(interval).nontrivial()
+        best = space.best_balanced_pair()
+        return space, best
+
+    space, best = benchmark.pedantic(compute, rounds=1, iterations=1)
+    choices = space.count_choices(*best)
+    table = get_table("e1_mux", TITLE, HEADER)
+    table.row(
+        f"{width:>5} {len(control) + len(data):>7} {space.bi_size:>8} "
+        f"{str(best):>12} {choices:>16} {benchmark.stats['mean']:>9.3f}"
+    )
+    # Shape assertions: the data variables split evenly, controls shared.
+    n_data = len(data)
+    assert best == (n_data // 2 + width, n_data // 2 + width)
+    import math
+
+    assert choices == math.comb(n_data, n_data // 2)

@@ -1,0 +1,122 @@
+"""Substrate microbenchmarks.
+
+Not a paper experiment — performance tracking for the building blocks
+every experiment sits on: BDD operators, quantification, ISOP, image
+computation, cut enumeration and SAT solving.  Uses pytest-benchmark's
+statistical timing (multiple rounds), unlike the one-shot experiment
+benches.
+"""
+
+import random
+
+from repro.bdd import BDDManager, exists
+from repro.logic.truthtable import TruthTable
+
+
+def _random_nodes(num_vars, count, seed):
+    manager = BDDManager(num_vars)
+    rng = random.Random(seed)
+    nodes = [
+        TruthTable.random(num_vars, rng).to_bdd(manager, list(range(num_vars)))
+        for _ in range(count)
+    ]
+    return manager, nodes
+
+
+def test_bdd_apply_and(benchmark):
+    manager, nodes = _random_nodes(10, 40, 1)
+
+    def run():
+        total = 1
+        for i in range(len(nodes) - 1):
+            total = manager.apply_and(nodes[i], nodes[i + 1])
+        return total
+
+    benchmark(run)
+
+
+def test_bdd_exists(benchmark):
+    manager, nodes = _random_nodes(10, 10, 2)
+
+    def run():
+        return [exists(manager, node, [0, 3, 6, 9]) for node in nodes]
+
+    benchmark(run)
+
+
+def test_isop(benchmark):
+    from repro.logic.sop import isop
+
+    manager, nodes = _random_nodes(8, 10, 3)
+
+    def run():
+        return [isop(manager, node, node) for node in nodes]
+
+    benchmark(run)
+
+
+def test_espresso(benchmark):
+    from repro.logic.espresso import minimize_function
+
+    manager, nodes = _random_nodes(6, 6, 4)
+
+    def run():
+        return [minimize_function(manager, node) for node in nodes]
+
+    benchmark(run)
+
+
+def test_reachability_image(benchmark):
+    from repro.benchgen import iscas_analog
+    from repro.reach import TransitionSystem, forward_reachable
+
+    network = iscas_analog("s344")
+
+    def run():
+        return forward_reachable(TransitionSystem(network, list(network.latches)[:8]))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_or_partition_space(benchmark):
+    from repro.bidec import or_partition_space
+    from repro.intervals import Interval
+
+    manager, nodes = _random_nodes(8, 1, 5)
+
+    def run():
+        space = or_partition_space(Interval.exact(manager, nodes[0])).nontrivial()
+        return space.best_balanced_pair()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_sat_solver(benchmark):
+    from repro.sat import Solver
+
+    rng = random.Random(6)
+    clauses = []
+    for _ in range(180):
+        variables = rng.sample(range(1, 41), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+
+    def run():
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    benchmark(run)
+
+
+def test_technology_mapping(benchmark):
+    from repro.benchgen import ripple_adder_network
+    from repro.mapping import load_library, map_network
+
+    network = ripple_adder_network(8)
+    library = load_library()
+
+    def run():
+        return map_network(network, library)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures; rows are
+printed to stdout (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them live) and appended to ``benchmarks/results/<experiment>.txt`` so
+a plain ``pytest benchmarks/ --benchmark-only`` run leaves the tables on
+disk.  EXPERIMENTS.md records the shape comparison against the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale_from_env(name: str, default: float) -> float:
+    """Workload scale factor, overridable via environment (e.g.
+    ``REPRO_E4_SCALE=1.0`` for a full-size, much slower run)."""
+    return float(os.environ.get(name, default))
+
+
+class TableWriter:
+    """Accumulates printed rows of one experiment's table."""
+
+    def __init__(self, experiment: str, title: str) -> None:
+        self.experiment = experiment
+        self.path = RESULTS_DIR / f"{experiment}.txt"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        if not self.path.exists():
+            self._write_line(title)
+            self._write_line("=" * len(title))
+
+    def row(self, text: str) -> None:
+        print(text)
+        self._write_line(text)
+
+    def _write_line(self, text: str) -> None:
+        with self.path.open("a") as handle:
+            handle.write(text + "\n")
+
+
+def fresh_table(experiment: str, title: str, header: str) -> TableWriter:
+    """Start (or restart) an experiment's results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    if path.exists():
+        path.unlink()
+    writer = TableWriter(experiment, title)
+    writer.row(header)
+    return writer
+
+
+_WRITERS: dict[str, TableWriter] = {}
+
+
+def get_table(experiment: str, title: str, header: str) -> TableWriter:
+    """Session-cached writer: the first request in a pytest session
+    restarts the results file, later requests (parametrized rows) append."""
+    writer = _WRITERS.get(experiment)
+    if writer is None:
+        writer = fresh_table(experiment, title, header)
+        _WRITERS[experiment] = writer
+    return writer

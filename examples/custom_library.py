@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Mapping against a user-supplied genlib library, with verification.
+
+Writes a tiny custom standard-cell library in genlib format, maps an
+optimised benchmark circuit against it and against the bundled mcnc-like
+library, verifies both covers by rebuilding them as netlists and checking
+equivalence, and compares the area/delay trade-off.
+
+Run:  python examples/custom_library.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.benchgen import iscas_analog
+from repro.mapping import load_library, map_network
+from repro.mapping.mapper import mapped_to_network
+from repro.network import outputs_equal
+from repro.synth import SynthesisOptions, algorithm1
+
+NAND_ONLY_LIB = """\
+# A spartan NAND/INV library: everything maps, nothing is cheap.
+GATE inv    1.0 O=!a;       PIN * INV 1.0 999 0.9 0.3 0.9 0.3
+GATE nand2  2.0 O=!(a*b);   PIN * INV 1.0 999 1.0 0.35 1.0 0.35
+GATE and2   3.0 O=a*b;      PIN * NONINV 1.0 999 1.2 0.25 1.2 0.25
+GATE or2    3.0 O=a+b;      PIN * NONINV 1.0 999 1.25 0.27 1.25 0.27
+GATE xor2   6.0 O=a^b;      PIN * UNKNOWN 2.0 999 1.9 0.5 1.9 0.5
+GATE buf    2.0 O=a;        PIN * NONINV 1.0 999 1.0 0.2 1.0 0.2
+GATE zero   0.0 O=0;
+GATE one    0.0 O=1;
+"""
+
+
+def main() -> None:
+    network = algorithm1(
+        iscas_analog("s526"), SynthesisOptions(max_partition_size=10)
+    ).network
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "nand_only.genlib"
+        path.write_text(NAND_ONLY_LIB)
+        custom = load_library(str(path))
+        bundled = load_library()
+
+        print(f"{'library':>12} {'cells':>6} {'area':>8} {'delay':>7} {'gates':>6}")
+        for label, library in (("nand-only", custom), ("mcnc-like", bundled)):
+            result = map_network(network, library)
+            rebuilt = mapped_to_network(network, result, library)
+            assert outputs_equal(network, rebuilt, cycles=30), label
+            print(
+                f"{label:>12} {len(library):>6} {result.area:>8.1f} "
+                f"{result.delay:>7.2f} {result.num_gates:>6}"
+            )
+    print("richer cell mix -> smaller, faster cover (both verified equivalent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Figure 3.1 end to end: unreachable states as decomposition don't cares.
+
+Builds a small sequential design whose three latches never visit the
+state (a, b, c) = (1, 0, 1), runs partitioned forward reachability to
+harvest the unreachable states, and shows that the output's majority
+logic — undecomposable as given — falls apart into g1(a,b) + g2(b,c)
+once the unreachable states are treated as don't cares.
+
+Run:  python examples/sequential_dont_cares.py
+"""
+
+from repro import BDDManager, Interval, or_bidecompose
+from repro.bdd import support
+from repro.network import Network
+from repro.reach import DontCareManager, TransitionSystem, forward_reachable
+
+
+def build_design() -> Network:
+    """A 'fill-up' shifter: latches a, b, c set left to right and stay
+    set, so only the states 000, 100, 110, 111 are reachable; its output
+    is majority(a, b, c)."""
+    net = Network("fig31")
+    net.add_input("go")
+    net.add_latch("a", "na", False)
+    net.add_latch("b", "nb", False)
+    net.add_latch("c", "nc", False)
+    net.add_node("na", "or", ["a", "go"])
+    net.add_node("nb", "or", ["b", "a"])
+    net.add_node("nc", "or", ["c", "b"])
+    net.add_node("ab", "and", ["a", "b"])
+    net.add_node("ac", "and", ["a", "c"])
+    net.add_node("bc", "and", ["b", "c"])
+    net.add_node("f", "or", ["ab", "ac", "bc"])
+    net.add_output("f")
+    return net
+
+
+def main() -> None:
+    net = build_design()
+    result = forward_reachable(TransitionSystem(net))
+    print(f"reachable states: {result.num_states()} of 8 "
+          f"({result.iterations} image steps)")
+
+    dcm = DontCareManager(net, max_partition_size=3)
+    target = BDDManager()
+    var_of = {name: target.new_var(name) for name in ("a", "b", "c")}
+    unreachable = dcm.unreachable_for({"a", "b", "c"}, target, var_of)
+
+    a, b, c = (target.var(var_of[n]) for n in ("a", "b", "c"))
+    majority = target.disjoin(
+        [target.apply_and(a, b), target.apply_and(a, c), target.apply_and(b, c)]
+    )
+
+    print(
+        "without states: OR decomposition of majority exists:",
+        or_bidecompose(Interval.exact(target, majority)) is not None,
+    )
+
+    names = {var_of[n]: n for n in ("a", "b", "c")}
+
+    def pretty(node):
+        return "{" + ", ".join(sorted(names[v] for v in support(target, node))) + "}"
+
+    # Figure 3.1 uses a single unreachable state, a·~b·c, as don't care.
+    single_state = target.cube(
+        {var_of["a"]: True, var_of["b"]: False, var_of["c"]: True}
+    )
+    assert target.leq(single_state, unreachable), "101 must be unreachable"
+    figure = or_bidecompose(
+        Interval.with_dont_cares(target, majority, single_state)
+    )
+    assert figure is not None and figure.verify()
+    print(
+        f"one DC state:   f = g1{pretty(figure.g1)} OR g2{pretty(figure.g2)}"
+        "  (Figure 3.1)"
+    )
+
+    # With every unreachable state as don't care the function collapses
+    # even further: on the reachable states majority(a,b,c) == b.
+    full = or_bidecompose(
+        Interval.with_dont_cares(target, majority, unreachable),
+        require_nontrivial=True,
+    )
+    assert full is not None and full.verify()
+    print(
+        f"all DC states:  f = g1{pretty(full.g1)} OR g2{pretty(full.g2)}"
+        "  (majority == b on reachable states)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Reproduction of *Sequential Logic Synthesis Using Symbolic Bi-decomposition*.
+
+Kravets, V. N. and Mishchenko, A., DATE 2009 (reprinted as Chapter 3 of
+*Advanced Techniques in Logic Synthesis, Optimizations and Applications*,
+Springer 2011).
+
+The package is organised as a stack of substrates under a small public API:
+
+``repro.bdd``
+    A from-scratch binary decision diagram engine (unique table, ITE,
+    quantification, composition, counting).
+``repro.logic``
+    Truth-table and sum-of-products utilities used as test oracles and for
+    literal-count estimation.
+``repro.intervals``
+    Incompletely specified functions represented as ``[lower, upper]``
+    intervals of completely specified functions (Section 3.2).
+``repro.bidec``
+    The paper's core contribution: symbolic bi-decomposition of
+    (incompletely specified) functions with implicit enumeration of all
+    feasible variable partitions (Sections 3.3-3.4), plus the greedy and
+    SAT-based baselines it is compared against.
+``repro.network``
+    Sequential logic networks with BLIF and ISCAS89 ``.bench`` I/O.
+``repro.reach``
+    Partitioned forward reachability and unreachable-state don't-care
+    extraction (Section 3.5.1).
+``repro.sat``
+    A CDCL SAT solver backing the Lee-Jiang-Hung-style baseline.
+``repro.mapping``
+    Technology mapping against a genlib library with a load-dependent
+    delay model (used by the Table 3.2 experiment).
+``repro.synth``
+    The sequential synthesis loop of Algorithm 1 (Section 3.5.3).
+``repro.benchgen``
+    Deterministic generators for the evaluation workloads (multiplexers,
+    adders, ISCAS89-analog and industrial-analog sequential circuits).
+"""
+
+from repro.bdd import BDDManager
+from repro.intervals import Interval
+from repro.bidec import (
+    BiDecomposition,
+    decompose_interval,
+    or_bidecompose,
+    and_bidecompose,
+    xor_bidecompose,
+)
+
+__all__ = [
+    "BDDManager",
+    "Interval",
+    "BiDecomposition",
+    "decompose_interval",
+    "or_bidecompose",
+    "and_bidecompose",
+    "xor_bidecompose",
+]
+
+__version__ = "1.0.0"

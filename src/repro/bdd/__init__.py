@@ -1,0 +1,72 @@
+"""From-scratch reduced ordered BDD engine.
+
+The paper's machinery is entirely BDD-based; this subpackage provides the
+substrate: a node manager with a shared unique table
+(:class:`~repro.bdd.manager.BDDManager`), quantification, composition,
+counting, builders for symmetric/arithmetic relations, and a wrapped
+:class:`~repro.bdd.function.Function` facade.
+"""
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE, iter_nodes
+from repro.bdd.function import Function, function_vars
+from repro.bdd.quantify import exists, forall, and_exists, abstract_interval
+from repro.bdd.compose import compose, vector_compose, rename, transfer
+from repro.bdd.count import (
+    dag_size,
+    dag_size_multi,
+    support,
+    support_multi,
+    sat_count,
+    pick_one,
+    iter_models,
+    shortest_cube,
+)
+from repro.bdd.builders import (
+    exactly_k,
+    weight_functions,
+    at_most_k,
+    encode_int,
+    decode_int,
+    count_relation,
+    equ,
+    gte,
+)
+from repro.bdd.dot import to_dot
+from repro.bdd.reorder import order_cost, sift_order, reorder
+
+__all__ = [
+    "BDDManager",
+    "FALSE",
+    "TRUE",
+    "Function",
+    "function_vars",
+    "iter_nodes",
+    "exists",
+    "forall",
+    "and_exists",
+    "abstract_interval",
+    "compose",
+    "vector_compose",
+    "rename",
+    "transfer",
+    "dag_size",
+    "dag_size_multi",
+    "support",
+    "support_multi",
+    "sat_count",
+    "pick_one",
+    "iter_models",
+    "shortest_cube",
+    "exactly_k",
+    "weight_functions",
+    "at_most_k",
+    "encode_int",
+    "decode_int",
+    "count_relation",
+    "equ",
+    "gte",
+    "to_dot",
+    "order_cost",
+    "sift_order",
+    "reorder",
+]

@@ -1,0 +1,123 @@
+"""Builders for structured BDDs: symmetric (weight) functions and
+integer-encoding relations.
+
+These are the combinatorial-set helpers of Section 3.5.2: the weight
+functions ``w_k(c)`` that constrain how many decision variables are set,
+the encoding relation ``K(c, e)`` between decision assignments and binary
+counters, and the ``gte``/``equ`` comparators used by dominance pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+
+
+def exactly_k(manager: BDDManager, variables: Sequence[int], k: int) -> int:
+    """Weight function ``w_k``: true iff exactly ``k`` of ``variables``
+    are 1.  Totally symmetric, hence an ``O(n*k)``-node BDD."""
+    if k > len(variables):
+        return FALSE
+    table = weight_functions(manager, variables, k)
+    return table[k]
+
+
+def weight_functions(
+    manager: BDDManager, variables: Sequence[int], max_weight: int | None = None
+) -> list[int]:
+    """All weight functions ``[w_0, w_1, ..., w_m]`` over ``variables``.
+
+    Builds the whole family in one dynamic-programming sweep (the BDDs
+    share almost all of their nodes).  ``max_weight`` defaults to
+    ``len(variables)``.
+    """
+    n = len(variables)
+    if max_weight is None:
+        max_weight = n
+    max_weight = min(max_weight, n)
+    # Process variables bottom-up (highest level first) so _mk levels are
+    # consistent.  counts[j] = BDD over the already-processed suffix that
+    # exactly j of those variables are 1.
+    ordered = sorted(variables, reverse=True)
+    counts = [TRUE] + [FALSE] * max_weight
+    for var in ordered:
+        new_counts = []
+        for j in range(max_weight + 1):
+            take = counts[j - 1] if j > 0 else FALSE
+            skip = counts[j]
+            new_counts.append(manager._mk(var, skip, take) if take != skip else take)
+        counts = new_counts
+    return counts
+
+
+def at_most_k(manager: BDDManager, variables: Sequence[int], k: int) -> int:
+    """Threshold function: true iff at most ``k`` of ``variables`` are 1."""
+    weights = weight_functions(manager, variables, min(k, len(variables)))
+    return manager.disjoin(weights[: k + 1])
+
+
+def encode_int(manager: BDDManager, bits: Sequence[int], value: int) -> int:
+    """Minterm ``κ_value(e)``: the cube asserting that the little-endian
+    binary counter on ``bits`` equals ``value``."""
+    if value >= (1 << len(bits)):
+        raise ValueError(f"{value} does not fit in {len(bits)} bits")
+    return manager.cube(
+        {bit: bool((value >> i) & 1) for i, bit in enumerate(bits)}
+    )
+
+
+def count_relation(
+    manager: BDDManager, variables: Sequence[int], bits: Sequence[int]
+) -> int:
+    """The paper's ``K(c, e) = Σ_i w_i(c) · κ_i(e)`` — relates an
+    assignment to the decision variables ``c`` to the binary encoding of
+    its weight on the counter bits ``e`` (Section 3.5.2)."""
+    if (1 << len(bits)) <= len(variables):
+        raise ValueError(
+            f"{len(bits)} bits cannot encode weights up to {len(variables)}"
+        )
+    weights = weight_functions(manager, variables)
+    relation = FALSE
+    for value, weight in enumerate(weights):
+        if weight == FALSE:
+            continue
+        relation = manager.apply_or(
+            relation, manager.apply_and(weight, encode_int(manager, bits, value))
+        )
+    return relation
+
+
+def equ(manager: BDDManager, a_bits: Sequence[int], b_bits: Sequence[int]) -> int:
+    """Equality relation between two equally wide binary encodings."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("encodings must have equal width")
+    return manager.conjoin(
+        manager.apply_xnor(manager.var(a), manager.var(b))
+        for a, b in zip(a_bits, b_bits)
+    )
+
+
+def gte(manager: BDDManager, a_bits: Sequence[int], b_bits: Sequence[int]) -> int:
+    """Greater-than-or-equal relation ``a >= b`` between two little-endian
+    binary encodings (used by the dominance relation of Section 3.5.2)."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("encodings must have equal width")
+    # Build LSB-to-MSB: result_so_far holds "a_suffix >= b_suffix".
+    result = TRUE
+    for a, b in zip(a_bits, b_bits):
+        va, vb = manager.var(a), manager.var(b)
+        a_gt_b = manager.apply_and(va, manager.negate(vb))
+        a_eq_b = manager.apply_xnor(va, vb)
+        result = manager.apply_or(a_gt_b, manager.apply_and(a_eq_b, result))
+    return result
+
+
+def decode_int(bits: Sequence[int], assignment: dict[int, bool]) -> int:
+    """Inverse of :func:`encode_int` for a model returned by the counting
+    helpers: read the little-endian integer off ``assignment``."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if assignment.get(bit, False):
+            value |= 1 << i
+    return value

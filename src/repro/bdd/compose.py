@@ -1,0 +1,83 @@
+"""Functional composition, variable renaming and cross-manager transfer."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+
+
+def compose(manager: BDDManager, f: int, var: int, g: int) -> int:
+    """Substitute function ``g`` for variable ``var`` in ``f``."""
+    return vector_compose(manager, f, {var: g})
+
+
+def vector_compose(manager: BDDManager, f: int, substitution: Mapping[int, int]) -> int:
+    """Simultaneous substitution of functions for variables.
+
+    ``substitution`` maps variable indices to replacement nodes; variables
+    not mentioned are left alone.  The substitution is simultaneous: the
+    replacement functions are *not* themselves rewritten.
+    """
+    if not substitution:
+        return f
+    cache: dict[int, int] = {}
+
+    def walk(node: int) -> int:
+        if node <= 1:
+            return node
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        level = manager.level(node)
+        lo = walk(manager.lo(node))
+        hi = walk(manager.hi(node))
+        selector = substitution.get(level)
+        if selector is None:
+            selector = manager.var(level)
+        result = manager.ite(selector, hi, lo)
+        cache[node] = result
+        return result
+
+    return walk(f)
+
+
+def rename(manager: BDDManager, f: int, mapping: Mapping[int, int]) -> int:
+    """Rename variables of ``f`` according to ``{old_var: new_var}``.
+
+    A special case of :func:`vector_compose`; the mapping must be injective
+    on the support of ``f``.
+    """
+    return vector_compose(
+        manager, f, {old: manager.var(new) for old, new in mapping.items()}
+    )
+
+
+def transfer(
+    source: BDDManager,
+    f: int,
+    target: BDDManager,
+    var_map: Mapping[int, int] | None = None,
+) -> int:
+    """Rebuild function ``f`` from ``source`` inside ``target``.
+
+    ``var_map`` maps source variable indices to target variable indices
+    (identity by default).  Used to re-order a function by transferring it
+    into a manager with a different variable creation order.
+    """
+    if var_map is None:
+        var_map = {v: v for v in range(source.num_vars)}
+    cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+
+    def walk(node: int) -> int:
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        lo = walk(source.lo(node))
+        hi = walk(source.hi(node))
+        var = target.var(var_map[source.top_var(node)])
+        result = target.ite(var, hi, lo)
+        cache[node] = result
+        return result
+
+    return walk(f)

@@ -1,0 +1,152 @@
+"""Counting, support computation and model iteration."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, Optional, Sequence
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE, iter_nodes
+
+
+def dag_size(manager: BDDManager, root: int) -> int:
+    """Number of distinct nodes in the diagram rooted at ``root``
+    (terminals included) — the "BDD size" reported in the paper's tables."""
+    return sum(1 for _ in iter_nodes(manager, root))
+
+
+def dag_size_multi(manager: BDDManager, roots: Sequence[int]) -> int:
+    """Number of distinct nodes in the shared diagram of several roots."""
+    seen: set[int] = set()
+    for root in roots:
+        for node in iter_nodes(manager, root):
+            seen.add(node)
+    return len(seen)
+
+
+def support(manager: BDDManager, root: int) -> set[int]:
+    """Set of variables ``root`` structurally depends on."""
+    variables: set[int] = set()
+    for node in iter_nodes(manager, root):
+        if node > 1:
+            variables.add(manager.top_var(node))
+    return variables
+
+
+def support_multi(manager: BDDManager, roots: Sequence[int]) -> set[int]:
+    """Union of the supports of several roots."""
+    variables: set[int] = set()
+    for root in roots:
+        variables |= support(manager, root)
+    return variables
+
+
+def sat_count(manager: BDDManager, root: int, num_vars: Optional[int] = None) -> int:
+    """Number of satisfying assignments over ``num_vars`` variables
+    (defaults to all variables declared in the manager)."""
+    if num_vars is None:
+        num_vars = manager.num_vars
+    # Work with the density (fraction of satisfying points), then scale;
+    # this avoids tracking per-node level gaps explicitly.
+    cache: dict[int, Fraction] = {FALSE: Fraction(0), TRUE: Fraction(1)}
+
+    def density(node: int) -> Fraction:
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        result = (density(manager.lo(node)) + density(manager.hi(node))) / 2
+        cache[node] = result
+        return result
+
+    total = density(root) * (2 ** num_vars)
+    assert total.denominator == 1
+    return int(total)
+
+
+def pick_one(manager: BDDManager, root: int) -> Optional[dict[int, bool]]:
+    """One satisfying partial assignment (``None`` if unsatisfiable).
+
+    Only variables on the chosen path are bound; absent variables may take
+    either value.
+    """
+    if root == FALSE:
+        return None
+    assignment: dict[int, bool] = {}
+    node = root
+    while node > 1:
+        var = manager.top_var(node)
+        if manager.hi(node) != FALSE:
+            assignment[var] = True
+            node = manager.hi(node)
+        else:
+            assignment[var] = False
+            node = manager.lo(node)
+    return assignment
+
+
+def iter_models(
+    manager: BDDManager, root: int, variables: Sequence[int]
+) -> Iterator[dict[int, bool]]:
+    """Iterate total assignments to ``variables`` that satisfy ``root``.
+
+    ``variables`` must cover the support of ``root``; variables in the list
+    but absent from a path are expanded to both polarities, so each yielded
+    dict binds every listed variable exactly once.
+    """
+    order = sorted(variables)
+    position = {var: i for i, var in enumerate(order)}
+    for node in iter_nodes(manager, root):
+        if node > 1 and manager.top_var(node) not in position:
+            raise ValueError(
+                f"variable {manager.top_var(node)} in support but not listed"
+            )
+
+    def recurse(node: int, depth: int) -> Iterator[dict[int, bool]]:
+        if node == FALSE:
+            return
+        if depth == len(order):
+            yield {}
+            return
+        var = order[depth]
+        if node > 1 and manager.top_var(node) == var:
+            branches = ((False, manager.lo(node)), (True, manager.hi(node)))
+        else:
+            branches = ((False, node), (True, node))
+        for value, child in branches:
+            for rest in recurse(child, depth + 1):
+                rest[var] = value
+                yield rest
+
+    yield from recurse(root, 0)
+
+
+def shortest_cube(manager: BDDManager, root: int) -> Optional[dict[int, bool]]:
+    """A satisfying cube with the fewest literals (``None`` if UNSAT).
+
+    Used to pick decomposition-variable assignments that abstract as many
+    variables as possible.
+    """
+    if root == FALSE:
+        return None
+    cache: dict[int, tuple[int, dict[int, bool]]] = {TRUE: (0, {})}
+
+    def best(node: int) -> Optional[tuple[int, dict[int, bool]]]:
+        if node == FALSE:
+            return None
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        var = manager.top_var(node)
+        candidates = []
+        lo_best = best(manager.lo(node))
+        if lo_best is not None:
+            candidates.append((lo_best[0] + 1, {**lo_best[1], var: False}))
+        hi_best = best(manager.hi(node))
+        if hi_best is not None:
+            candidates.append((hi_best[0] + 1, {**hi_best[1], var: True}))
+        result = min(candidates, key=lambda item: item[0])
+        cache[node] = result
+        return result
+
+    found = best(root)
+    assert found is not None
+    return found[1]

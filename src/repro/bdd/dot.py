@@ -1,0 +1,26 @@
+"""Graphviz export of BDDs (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE, iter_nodes
+
+
+def to_dot(manager: BDDManager, root: int, name: str = "bdd") -> str:
+    """Render the diagram rooted at ``root`` as a Graphviz ``digraph``.
+
+    Solid edges are high (then) branches, dashed edges low (else)
+    branches, following the usual BDD drawing convention.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node in iter_nodes(manager, root):
+        if node == FALSE:
+            lines.append('  n0 [shape=box, label="0"];')
+        elif node == TRUE:
+            lines.append('  n1 [shape=box, label="1"];')
+        else:
+            label = manager.var_name(manager.top_var(node))
+            lines.append(f'  n{node} [shape=circle, label="{label}"];')
+            lines.append(f"  n{node} -> n{manager.lo(node)} [style=dashed];")
+            lines.append(f"  n{node} -> n{manager.hi(node)};")
+    lines.append("}")
+    return "\n".join(lines)

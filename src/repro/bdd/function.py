@@ -1,0 +1,207 @@
+"""Operator-overloaded wrapper around manager/node pairs.
+
+The integer node API of :class:`repro.bdd.manager.BDDManager` is what the
+algorithms use internally; :class:`Function` is the ergonomic public face:
+
+>>> from repro.bdd import BDDManager
+>>> m = BDDManager()
+>>> x, y = m.function_vars("x", "y")
+>>> f = x & ~y | y
+>>> f.is_tautology()
+False
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.bdd import count as _count
+from repro.bdd import quantify as _quantify
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+
+
+class Function:
+    """A Boolean function: an immutable handle on a BDD node.
+
+    Supports ``& | ^ ~``, comparison by functional equality, and the
+    quantification/counting operations as methods.
+    """
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: BDDManager, node: int) -> None:
+        self.manager = manager
+        self.node = node
+
+    # -- combinators ---------------------------------------------------
+
+    def _coerce(self, other: "Function | bool | int") -> int:
+        if isinstance(other, Function):
+            if other.manager is not self.manager:
+                raise ValueError("functions belong to different managers")
+            return other.node
+        if other is True or other == 1:
+            return TRUE
+        if other is False or other == 0:
+            return FALSE
+        raise TypeError(f"cannot combine Function with {type(other).__name__}")
+
+    def __and__(self, other: "Function | bool") -> "Function":
+        return Function(self.manager, self.manager.apply_and(self.node, self._coerce(other)))
+
+    def __or__(self, other: "Function | bool") -> "Function":
+        return Function(self.manager, self.manager.apply_or(self.node, self._coerce(other)))
+
+    def __xor__(self, other: "Function | bool") -> "Function":
+        return Function(self.manager, self.manager.apply_xor(self.node, self._coerce(other)))
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Function":
+        return Function(self.manager, self.manager.negate(self.node))
+
+    def ite(self, then: "Function", otherwise: "Function") -> "Function":
+        """``self ? then : otherwise``."""
+        return Function(
+            self.manager,
+            self.manager.ite(self.node, self._coerce(then), self._coerce(otherwise)),
+        )
+
+    def implies(self, other: "Function") -> "Function":
+        """Implication as a function: ``~self | other``."""
+        return Function(self.manager, self.manager.implies(self.node, self._coerce(other)))
+
+    def __le__(self, other: "Function") -> bool:
+        """The paper's "less-than-or-equal" relation between functions."""
+        return self.manager.leq(self.node, self._coerce(other))
+
+    def __ge__(self, other: "Function") -> bool:
+        return self.manager.leq(self._coerce(other), self.node)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Function):
+            return self.manager is other.manager and self.node == other.node
+        if other is True:
+            return self.node == TRUE
+        if other is False:
+            return self.node == FALSE
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    # -- predicates ----------------------------------------------------
+
+    def is_tautology(self) -> bool:
+        """True iff the function is the constant 1."""
+        return self.node == TRUE
+
+    def is_contradiction(self) -> bool:
+        """True iff the function is the constant 0."""
+        return self.node == FALSE
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Function truthiness is ambiguous; use is_tautology() / "
+            "is_contradiction() or compare with == True / == False"
+        )
+
+    # -- quantification ------------------------------------------------
+
+    def exists(self, variables: Iterable["Function | int"]) -> "Function":
+        """Existential abstraction of the given variables."""
+        return Function(
+            self.manager,
+            _quantify.exists(self.manager, self.node, self._variable_indices(variables)),
+        )
+
+    def forall(self, variables: Iterable["Function | int"]) -> "Function":
+        """Universal abstraction of the given variables."""
+        return Function(
+            self.manager,
+            _quantify.forall(self.manager, self.node, self._variable_indices(variables)),
+        )
+
+    def _variable_indices(self, variables: Iterable["Function | int"]) -> list[int]:
+        indices = []
+        for item in variables:
+            if isinstance(item, Function):
+                node = item.node
+                if (
+                    self.manager.is_terminal(node)
+                    or self.manager.lo(node) != FALSE
+                    or self.manager.hi(node) != TRUE
+                ):
+                    raise ValueError("expected a positive variable literal")
+                indices.append(self.manager.top_var(node))
+            else:
+                indices.append(int(item))
+        return indices
+
+    # -- inspection ----------------------------------------------------
+
+    def support(self) -> set[int]:
+        """Indices of variables the function depends on."""
+        return _count.support(self.manager, self.node)
+
+    def support_names(self) -> set[str]:
+        """Names of variables the function depends on."""
+        return {self.manager.var_name(v) for v in self.support()}
+
+    def dag_size(self) -> int:
+        """Number of BDD nodes."""
+        return _count.dag_size(self.manager, self.node)
+
+    def sat_count(self, num_vars: int | None = None) -> int:
+        """Number of satisfying assignments."""
+        return _count.sat_count(self.manager, self.node, num_vars)
+
+    def evaluate(self, assignment: Sequence[bool] | Mapping[int, bool]) -> bool:
+        """Evaluate under a total assignment (list indexed by variable or
+        ``{var: value}`` mapping)."""
+        return self.manager.evaluate(self.node, assignment)
+
+    def restrict(self, assignment: Mapping[int, bool]) -> "Function":
+        """Cofactor by a partial assignment."""
+        return Function(self.manager, self.manager.restrict(self.node, dict(assignment)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.node == TRUE:
+            return "<Function TRUE>"
+        if self.node == FALSE:
+            return "<Function FALSE>"
+        return f"<Function node={self.node} vars={sorted(self.support_names())}>"
+
+
+def function_vars(manager: BDDManager, *names: str) -> list[Function]:
+    """Declare (or look up) named variables and return them as wrapped
+    positive literals."""
+    result = []
+    for name in names:
+        try:
+            index = manager.var_index(name)
+        except KeyError:
+            index = manager.new_var(name)
+        result.append(Function(manager, manager.var(index)))
+    return result
+
+
+# Attach the convenience constructor to the manager class so users can do
+# ``m.function_vars("x", "y")`` without importing this module explicitly.
+def _manager_function_vars(self: BDDManager, *names: str) -> list[Function]:
+    return function_vars(self, *names)
+
+
+def _manager_true(self: BDDManager) -> Function:
+    return Function(self, TRUE)
+
+
+def _manager_false(self: BDDManager) -> Function:
+    return Function(self, FALSE)
+
+
+BDDManager.function_vars = _manager_function_vars  # type: ignore[attr-defined]
+BDDManager.true = property(_manager_true)  # type: ignore[attr-defined]
+BDDManager.false = property(_manager_false)  # type: ignore[attr-defined]

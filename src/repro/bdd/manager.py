@@ -1,0 +1,396 @@
+"""Core binary decision diagram manager.
+
+This module implements a reduced ordered BDD (ROBDD) package from scratch:
+a shared unique table, the generic ``ite`` operator, and specialised binary
+operators (AND, OR, XOR) with operation caches.  Nodes are plain integers
+indexing into parallel arrays, which keeps the inner recursion cheap; the
+:class:`~repro.bdd.function.Function` wrapper offers an operator-overloaded
+facade on top of this integer API.
+
+Conventions
+-----------
+
+* Node ``0`` is the constant FALSE terminal and node ``1`` the constant
+  TRUE terminal.
+* Variables are integers ``0, 1, 2, ...`` in creation order, and the
+  variable index *is* the level: variable 0 is at the top of every diagram.
+  (Reordering is done by rebuilding into a fresh manager, see
+  :func:`repro.bdd.compose.transfer`.)
+* Every internal node satisfies the ROBDD invariants: ``lo != hi`` and the
+  children's levels are strictly greater than the node's level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: Pseudo-level assigned to the two terminal nodes; larger than any real
+#: variable level so that terminals always sort below internal nodes.
+TERMINAL_LEVEL = 1 << 30
+
+FALSE = 0
+TRUE = 1
+
+
+class BDDManager:
+    """A shared pool of ROBDD nodes over a common variable order.
+
+    All functions created through one manager may be freely combined with
+    each other; mixing nodes from different managers is an error (use
+    :func:`repro.bdd.compose.transfer` to move functions between managers).
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables to pre-declare (they get default names
+        ``x0, x1, ...``).  More can be added later with :meth:`new_var`.
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._level = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._lo = [0, 1]
+        self._hi = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._and_cache: dict[tuple[int, int], int] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+        self._var_names: list[str] = []
+        self._name_to_var: dict[str, int] = {}
+        for _ in range(num_vars):
+            self.new_var()
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Declare a fresh variable (appended at the bottom of the order).
+
+        Returns the variable index.  Raises ``ValueError`` on a duplicate
+        name.
+        """
+        index = len(self._var_names)
+        if name is None:
+            name = f"x{index}"
+        if name in self._name_to_var:
+            raise ValueError(f"duplicate variable name: {name!r}")
+        self._var_names.append(name)
+        self._name_to_var[name] = index
+        return index
+
+    def new_vars(self, count: int, prefix: str = "x") -> list[int]:
+        """Declare ``count`` fresh variables named ``{prefix}{i}``."""
+        start = len(self._var_names)
+        return [self.new_var(f"{prefix}{start + i}") for i in range(count)]
+
+    def var_name(self, var: int) -> str:
+        """Name of variable ``var``."""
+        return self._var_names[var]
+
+    def var_index(self, name: str) -> int:
+        """Variable index for ``name``; raises ``KeyError`` if unknown."""
+        return self._name_to_var[name]
+
+    def var(self, var: int) -> int:
+        """Node for the positive literal of variable ``var``."""
+        if var >= len(self._var_names):
+            raise ValueError(f"variable {var} not declared")
+        return self._mk(var, FALSE, TRUE)
+
+    def nvar(self, var: int) -> int:
+        """Node for the negative literal of variable ``var``."""
+        if var >= len(self._var_names):
+            raise ValueError(f"variable {var} not declared")
+        return self._mk(var, TRUE, FALSE)
+
+    def literal(self, var: int, positive: bool) -> int:
+        """Node for the literal of ``var`` with the given polarity."""
+        return self.var(var) if positive else self.nvar(var)
+
+    # ------------------------------------------------------------------
+    # Node structure access
+    # ------------------------------------------------------------------
+
+    def level(self, node: int) -> int:
+        """Level (== variable index) of ``node``; terminals report a
+        sentinel larger than any variable level."""
+        return self._level[node]
+
+    def top_var(self, node: int) -> int:
+        """Top variable of a non-terminal ``node``."""
+        lvl = self._level[node]
+        if lvl == TERMINAL_LEVEL:
+            raise ValueError("terminal node has no top variable")
+        return lvl
+
+    def lo(self, node: int) -> int:
+        """Low (else) child of ``node``."""
+        return self._lo[node]
+
+    def hi(self, node: int) -> int:
+        """High (then) child of ``node``."""
+        return self._hi[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the constant nodes 0 and 1."""
+        return node <= 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ever created (including terminals)."""
+        return len(self._level)
+
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(level, lo, hi)`` (the unique-table
+        lookup that enforces canonicity)."""
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Boolean operators
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h``.
+
+        The workhorse ternary operator; all other connectives reduce to it,
+        though AND/OR/XOR have specialised fast paths below.
+        """
+        # Terminal short-circuits.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.negate(f)
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level_f = self._level[f]
+        level_g = self._level[g]
+        level_h = self._level[h]
+        top = min(level_f, level_g, level_h)
+        f0, f1 = (self._lo[f], self._hi[f]) if level_f == top else (f, f)
+        g0, g1 = (self._lo[g], self._hi[g]) if level_g == top else (g, g)
+        h0, h1 = (self._lo[h], self._hi[h]) if level_h == top else (h, h)
+        lo = self.ite(f0, g0, h0)
+        hi = self.ite(f1, g1, h1)
+        result = self._mk(top, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def negate(self, f: int) -> int:
+        """Complement ``~f``."""
+        if f <= 1:
+            return 1 - f
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._level[f], self.negate(self._lo[f]), self.negate(self._hi[f])
+        )
+        self._not_cache[f] = result
+        self._not_cache[result] = f
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction ``f & g``."""
+        if f == g:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        level_f = self._level[f]
+        level_g = self._level[g]
+        top = min(level_f, level_g)
+        f0, f1 = (self._lo[f], self._hi[f]) if level_f == top else (f, f)
+        g0, g1 = (self._lo[g], self._hi[g]) if level_g == top else (g, g)
+        result = self._mk(top, self.apply_and(f0, g0), self.apply_and(f1, g1))
+        self._and_cache[key] = result
+        return result
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction ``f | g`` (via De Morgan on the AND fast path)."""
+        return self.negate(self.apply_and(self.negate(f), self.negate(g)))
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or ``f ^ g``."""
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.negate(g)
+        if g == TRUE:
+            return self.negate(f)
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        level_f = self._level[f]
+        level_g = self._level[g]
+        top = min(level_f, level_g)
+        f0, f1 = (self._lo[f], self._hi[f]) if level_f == top else (f, f)
+        g0, g1 = (self._lo[g], self._hi[g]) if level_g == top else (g, g)
+        result = self._mk(top, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
+        self._xor_cache[key] = result
+        return result
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        """Equivalence ``~(f ^ g)``."""
+        return self.negate(self.apply_xor(f, g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``~f | g``."""
+        return self.apply_or(self.negate(f), g)
+
+    def leq(self, f: int, g: int) -> bool:
+        """The paper's "less-than-or-equal" relation: ``f <= g`` holds iff
+        ``f -> g`` is a tautology (Section 3.2.1)."""
+        return self.implies(f, g) == TRUE
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """AND of an iterable of nodes (TRUE for an empty iterable)."""
+        result = TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        """OR of an iterable of nodes (FALSE for an empty iterable)."""
+        result = FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactors and evaluation
+    # ------------------------------------------------------------------
+
+    def cofactor(self, f: int, var: int, value: bool) -> int:
+        """Shannon cofactor of ``f`` with respect to one literal."""
+        return self.restrict(f, {var: value})
+
+    def restrict(self, f: int, assignment: dict[int, bool]) -> int:
+        """Simultaneous cofactor by a partial assignment ``{var: value}``."""
+        if not assignment:
+            return f
+        cache: dict[int, int] = {}
+        max_level = max(assignment)
+
+        def walk(node: int) -> int:
+            if node <= 1 or self._level[node] > max_level:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            if level in assignment:
+                result = walk(self._hi[node] if assignment[level] else self._lo[node])
+            else:
+                result = self._mk(level, walk(self._lo[node]), walk(self._hi[node]))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def evaluate(self, f: int, assignment: Sequence[bool] | dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a total assignment.
+
+        ``assignment`` is either a sequence indexed by variable or a dict;
+        variables not on ``f``'s path are ignored.
+        """
+        node = f
+        while node > 1:
+            level = self._level[node]
+            value = assignment[level]
+            node = self._hi[node] if value else self._lo[node]
+        return node == TRUE
+
+    def cube(self, literals: dict[int, bool]) -> int:
+        """Conjunction of literals given as ``{var: polarity}``."""
+        node = TRUE
+        for var in sorted(literals, reverse=True):
+            node = self._mk(
+                var,
+                FALSE if literals[var] else node,
+                node if literals[var] else FALSE,
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop all operation caches (the unique table is kept).
+
+        Useful between phases of a long-running computation to bound
+        memory; correctness is unaffected.
+        """
+        self._ite_cache.clear()
+        self._and_cache.clear()
+        self._xor_cache.clear()
+        self._not_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BDDManager vars={self.num_vars} nodes={self.num_nodes} "
+            f"unique={len(self._unique)}>"
+        )
+
+
+def iter_nodes(manager: BDDManager, root: int) -> Iterator[int]:
+    """Yield every node reachable from ``root`` exactly once (terminals
+    included), children before parents (iterative postorder)."""
+    seen: set[int] = set()
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in seen:
+            continue
+        if expanded or node <= 1:
+            seen.add(node)
+            yield node
+            continue
+        stack.append((node, True))
+        stack.append((manager.hi(node), False))
+        stack.append((manager.lo(node), False))

@@ -1,0 +1,128 @@
+"""Quantification over BDD variables.
+
+Implements existential and universal abstraction plus the fused
+``and_exists`` (relational product) used by image computation, where
+conjoining and quantifying in one pass avoids building the full
+intermediate conjunction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+
+
+def exists(manager: BDDManager, f: int, variables: Iterable[int]) -> int:
+    """Existential quantification ``∃ variables . f``."""
+    var_set = frozenset(variables)
+    if not var_set:
+        return f
+    max_level = max(var_set)
+    cache: dict[int, int] = {}
+
+    def walk(node: int) -> int:
+        if node <= 1 or manager.level(node) > max_level:
+            return node
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        level = manager.level(node)
+        lo = walk(manager.lo(node))
+        hi = walk(manager.hi(node))
+        if level in var_set:
+            result = manager.apply_or(lo, hi)
+        else:
+            result = manager._mk(level, lo, hi)
+        cache[node] = result
+        return result
+
+    return walk(f)
+
+
+def forall(manager: BDDManager, f: int, variables: Iterable[int]) -> int:
+    """Universal quantification ``∀ variables . f``."""
+    var_set = frozenset(variables)
+    if not var_set:
+        return f
+    max_level = max(var_set)
+    cache: dict[int, int] = {}
+
+    def walk(node: int) -> int:
+        if node <= 1 or manager.level(node) > max_level:
+            return node
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        level = manager.level(node)
+        lo = walk(manager.lo(node))
+        hi = walk(manager.hi(node))
+        if level in var_set:
+            result = manager.apply_and(lo, hi)
+        else:
+            result = manager._mk(level, lo, hi)
+        cache[node] = result
+        return result
+
+    return walk(f)
+
+
+def and_exists(
+    manager: BDDManager, f: int, g: int, variables: Iterable[int]
+) -> int:
+    """Relational product ``∃ variables . (f & g)`` computed in one pass.
+
+    This is the classic fused operator of symbolic model checking: the
+    conjunction is never materialised for subgraphs where quantification
+    collapses it first.
+    """
+    var_set = frozenset(variables)
+    if not var_set:
+        return manager.apply_and(f, g)
+    cache: dict[tuple[int, int], int] = {}
+
+    def walk(a: int, b: int) -> int:
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE and b == TRUE:
+            return TRUE
+        if a == TRUE:
+            return exists(manager, b, var_set)
+        if b == TRUE:
+            return exists(manager, a, var_set)
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        level_a = manager.level(a)
+        level_b = manager.level(b)
+        top = min(level_a, level_b)
+        a0, a1 = (manager.lo(a), manager.hi(a)) if level_a == top else (a, a)
+        b0, b1 = (manager.lo(b), manager.hi(b)) if level_b == top else (b, b)
+        if top in var_set:
+            lo = walk(a0, b0)
+            if lo == TRUE:
+                result = TRUE
+            else:
+                result = manager.apply_or(lo, walk(a1, b1))
+        else:
+            result = manager._mk(top, walk(a0, b0), walk(a1, b1))
+        cache[key] = result
+        return result
+
+    return walk(f, g)
+
+
+def abstract_interval(
+    manager: BDDManager, lower: int, upper: int, variables: Iterable[int]
+) -> tuple[int, int]:
+    """The paper's interval abstraction ``∀x [l, u] = [∃x l, ∀x u]``
+    (Section 3.2.1, Example 3.2).
+
+    Returns the (possibly empty) abstracted interval as a bound pair; the
+    result is consistent iff ``∃x l <= ∀x u``.
+    """
+    var_list = list(variables)
+    return exists(manager, lower, var_list), forall(manager, upper, var_list)

@@ -1,0 +1,49 @@
+"""Deterministic workload generators for the paper's evaluation
+(Sections 3.4 and 3.6): multiplexers, ripple-carry adders, ISCAS89
+analogs and industrial macro-block analogs."""
+
+from repro.benchgen.arith import (
+    multiplexer_function,
+    multiplexer_network,
+    adder_sum_bit,
+    ripple_adder_network,
+)
+from repro.benchgen.fsm import (
+    add_mod_counter,
+    add_onehot_ring,
+    add_shift_register,
+    add_lfsr,
+    add_gated_register,
+)
+from repro.benchgen.iscas import (
+    CircuitSpec,
+    ISCAS_SPECS,
+    iscas_analog,
+    generate_sequential_circuit,
+)
+from repro.benchgen.industrial import (
+    MacroSpec,
+    MACRO_SPECS,
+    industrial_analog,
+    generate_macro_block,
+)
+
+__all__ = [
+    "multiplexer_function",
+    "multiplexer_network",
+    "adder_sum_bit",
+    "ripple_adder_network",
+    "add_mod_counter",
+    "add_onehot_ring",
+    "add_shift_register",
+    "add_lfsr",
+    "add_gated_register",
+    "CircuitSpec",
+    "ISCAS_SPECS",
+    "iscas_analog",
+    "generate_sequential_circuit",
+    "MacroSpec",
+    "MACRO_SPECS",
+    "industrial_analog",
+    "generate_macro_block",
+]

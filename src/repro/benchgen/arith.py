@@ -1,0 +1,114 @@
+"""Parametric arithmetic workloads for the Section 3.4 tables.
+
+* Multiplexers (Section 3.4.1): ``2^k`` data inputs selected by ``k``
+  control inputs — the function whose OR-partition space the paper uses
+  to showcase scalability of the implicit ``Bi`` computation.
+* Ripple-carry adder sum bits (Section 3.4.2): ``s_k = a_k ⊕ b_k ⊕ c_k``
+  over ``2k+1`` inputs — the XOR-decomposition stress case comparing the
+  implicit computation against the greedy explicit checker.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDDManager, FALSE
+from repro.network.netlist import Network
+
+
+def multiplexer_function(
+    manager: BDDManager, control_width: int
+) -> tuple[int, list[int], list[int]]:
+    """BDD of a ``2^k:1`` multiplexer.
+
+    Declares ``k`` control variables followed by ``2^k`` data variables
+    in ``manager``; returns ``(node, control_vars, data_vars)``.
+    """
+    control = [manager.new_var(f"s{i}") for i in range(control_width)]
+    data = [manager.new_var(f"d{i}") for i in range(1 << control_width)]
+    result = FALSE
+    for index, data_var in enumerate(data):
+        select = manager.cube(
+            {control[i]: bool((index >> i) & 1) for i in range(control_width)}
+        )
+        result = manager.apply_or(
+            result, manager.apply_and(select, manager.var(data_var))
+        )
+    return result, control, data
+
+
+def multiplexer_network(control_width: int) -> Network:
+    """Gate-level ``2^k:1`` multiplexer netlist."""
+    network = Network(f"mux{1 << control_width}")
+    control = [network.add_input(f"s{i}") for i in range(control_width)]
+    data = [
+        network.add_input(f"d{i}") for i in range(1 << control_width)
+    ]
+    inverted = []
+    for i, signal in enumerate(control):
+        inverted.append(network.add_node(f"ns{i}", "not", [signal]))
+    terms = []
+    for index, data_signal in enumerate(data):
+        fanins = [data_signal]
+        for i in range(control_width):
+            fanins.append(control[i] if (index >> i) & 1 else inverted[i])
+        terms.append(network.add_node(f"t{index}", "and", fanins))
+    network.add_node("y", "or", terms)
+    network.add_output("y")
+    return network
+
+
+def adder_sum_bit(
+    manager: BDDManager, bit: int, with_carry_in: bool = True
+) -> tuple[int, list[int]]:
+    """BDD of ripple-carry sum bit ``s_bit``.
+
+    Variables are declared interleaved ``a0, b0, a1, b1, ...`` (plus
+    ``cin`` first when ``with_carry_in``), the order in which the carry
+    chain has a linear-size BDD.  Returns ``(node, variables)``; the sum
+    bit depends on ``a_0..a_bit``, ``b_0..b_bit`` and ``cin`` —
+    ``2*(bit+1) + 1`` inputs with a carry-in.
+    """
+    variables: list[int] = []
+    carry = FALSE
+    if with_carry_in:
+        cin = manager.new_var(f"cin_{manager.num_vars}")
+        variables.append(cin)
+        carry = manager.var(cin)
+    sum_bit = FALSE
+    for position in range(bit + 1):
+        a = manager.new_var(f"a{position}_{manager.num_vars}")
+        b = manager.new_var(f"b{position}_{manager.num_vars}")
+        variables.extend([a, b])
+        a_node, b_node = manager.var(a), manager.var(b)
+        half = manager.apply_xor(a_node, b_node)
+        sum_bit = manager.apply_xor(half, carry)
+        if position < bit:
+            carry = manager.apply_or(
+                manager.apply_and(a_node, b_node),
+                manager.apply_and(half, carry),
+            )
+    return sum_bit, variables
+
+
+def ripple_adder_network(width: int, with_carry_in: bool = True) -> Network:
+    """Gate-level ripple-carry adder: outputs ``s0..s{width-1}`` and
+    ``cout``."""
+    network = Network(f"add{width}")
+    a = [network.add_input(f"a{i}") for i in range(width)]
+    b = [network.add_input(f"b{i}") for i in range(width)]
+    carry = None
+    if with_carry_in:
+        carry = network.add_input("cin")
+    for i in range(width):
+        half = network.add_node(f"h{i}", "xor", [a[i], b[i]])
+        if carry is None:
+            network.add_node(f"s{i}", "buf", [half])
+            carry = network.add_node(f"c{i}", "and", [a[i], b[i]])
+        else:
+            network.add_node(f"s{i}", "xor", [half, carry])
+            and1 = network.add_node(f"g{i}", "and", [a[i], b[i]])
+            and2 = network.add_node(f"p{i}", "and", [half, carry])
+            carry = network.add_node(f"c{i}", "or", [and1, and2])
+        network.add_output(f"s{i}")
+    network.add_node("cout", "buf", [carry])
+    network.add_output("cout")
+    return network

@@ -1,0 +1,111 @@
+"""Sequential building blocks with controlled unreachable-state fractions.
+
+The ISCAS89-analog and industrial-analog generators compose circuits from
+these blocks; each block's reachable state count is known by
+construction, which is what gives the synthetic designs the
+unreachable-state don't cares that the paper's experiments exploit.
+"""
+
+from __future__ import annotations
+
+from repro.logic.sop import Cover, Cube
+from repro.network.netlist import Network
+
+
+def add_mod_counter(
+    network: Network, prefix: str, bits: int, modulus: int, enable: str
+) -> list[str]:
+    """A ``bits``-bit counter that wraps at ``modulus`` (counts
+    0..modulus-1 when enabled).  Reachable states: ``modulus`` of
+    ``2**bits``."""
+    if not 1 < modulus <= (1 << bits):
+        raise ValueError("modulus must fit the bit width")
+    q = [f"{prefix}q{i}" for i in range(bits)]
+    for i in range(bits):
+        network.add_latch(q[i], f"{prefix}n{i}", init=False)
+    # at_max = (state == modulus-1)
+    top = modulus - 1
+    at_max = network.add_node(
+        f"{prefix}max",
+        "cover",
+        q,
+        Cover([Cube.from_dict({i: bool((top >> i) & 1) for i in range(bits)})]),
+    )
+    wrap = network.add_node(f"{prefix}wrap", "and", [at_max, enable])
+    nwrap = network.add_node(f"{prefix}nwrap", "not", [wrap])
+    carry = enable
+    for i in range(bits):
+        incremented = network.add_node(f"{prefix}i{i}", "xor", [q[i], carry])
+        if i + 1 < bits:
+            carry = network.add_node(f"{prefix}c{i}", "and", [q[i], carry])
+        network.add_node(f"{prefix}n{i}", "and", [incremented, nwrap])
+    return q
+
+
+def add_onehot_ring(
+    network: Network, prefix: str, length: int, enable: str
+) -> list[str]:
+    """A one-hot token ring (init: bit 0 hot).  Reachable states:
+    ``length`` of ``2**length``."""
+    q = [f"{prefix}q{i}" for i in range(length)]
+    for i in range(length):
+        network.add_latch(q[i], f"{prefix}n{i}", init=(i == 0))
+    not_enable = network.add_node(f"{prefix}ne", "not", [enable])
+    for i in range(length):
+        predecessor = q[(i - 1) % length]
+        advance = network.add_node(
+            f"{prefix}a{i}", "and", [predecessor, enable]
+        )
+        hold = network.add_node(f"{prefix}h{i}", "and", [q[i], not_enable])
+        network.add_node(f"{prefix}n{i}", "or", [advance, hold])
+    return q
+
+
+def add_shift_register(
+    network: Network, prefix: str, length: int, data_in: str, enable: str
+) -> list[str]:
+    """An enabled shift register.  All ``2**length`` states reachable."""
+    q = [f"{prefix}q{i}" for i in range(length)]
+    for i in range(length):
+        network.add_latch(q[i], f"{prefix}n{i}", init=False)
+    not_enable = network.add_node(f"{prefix}ne", "not", [enable])
+    for i in range(length):
+        source = data_in if i == 0 else q[i - 1]
+        load = network.add_node(f"{prefix}l{i}", "and", [source, enable])
+        hold = network.add_node(f"{prefix}h{i}", "and", [q[i], not_enable])
+        network.add_node(f"{prefix}n{i}", "or", [load, hold])
+    return q
+
+
+def add_lfsr(
+    network: Network, prefix: str, bits: int, enable: str
+) -> list[str]:
+    """A Fibonacci LFSR (taps at the two top bits), initialised to
+    ``0...01``.  The all-zero state is unreachable (and, depending on the
+    polynomial, further states may be)."""
+    q = [f"{prefix}q{i}" for i in range(bits)]
+    for i in range(bits):
+        network.add_latch(q[i], f"{prefix}n{i}", init=(i == 0))
+    feedback = network.add_node(
+        f"{prefix}fb", "xor", [q[bits - 1], q[max(bits - 2, 0)]]
+    )
+    not_enable = network.add_node(f"{prefix}ne", "not", [enable])
+    for i in range(bits):
+        source = feedback if i == 0 else q[i - 1]
+        load = network.add_node(f"{prefix}l{i}", "and", [source, enable])
+        hold = network.add_node(f"{prefix}h{i}", "and", [q[i], not_enable])
+        network.add_node(f"{prefix}n{i}", "or", [load, hold])
+    return q
+
+
+def add_gated_register(
+    network: Network, prefix: str, data_in: str, enable: str, init: bool = False
+) -> str:
+    """A single load-enabled register bit (all states reachable)."""
+    name = f"{prefix}q"
+    network.add_latch(name, f"{prefix}n", init=init)
+    not_enable = network.add_node(f"{prefix}ne", "not", [enable])
+    load = network.add_node(f"{prefix}l", "and", [data_in, enable])
+    hold = network.add_node(f"{prefix}h", "and", [name, not_enable])
+    network.add_node(f"{prefix}n", "or", [load, hold])
+    return name

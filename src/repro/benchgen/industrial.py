@@ -1,0 +1,185 @@
+"""Industrial-macro-block analogs (substitution S2 in DESIGN.md).
+
+The paper's Table 3.2 circuits are macro blocks of a proprietary IBM
+high-performance design; these generators produce deterministic circuits
+with the same interface scale (inputs/outputs/latches, and a comparable
+and/inv expansion size) and the same datapath-plus-control character:
+banks of load-enabled registers fed through muxed/xor-mixed datapaths,
+steered by counter/ring control FSMs — which is what gives Algorithm 1
+both unreachable-state don't cares and decomposable combinational cones
+to work on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.benchgen.fsm import add_mod_counter, add_onehot_ring, add_shift_register
+from repro.network.netlist import Network
+
+
+@dataclass(frozen=True)
+class MacroSpec:
+    """Interface statistics of one Table 3.2 macro block."""
+
+    name: str
+    inputs: int
+    outputs: int
+    latches: int
+    seed: int
+
+
+#: Interface statistics copied from Table 3.2 of the paper.
+MACRO_SPECS: dict[str, MacroSpec] = {
+    spec.name: spec
+    for spec in [
+        MacroSpec("seq4", 108, 202, 253, 4),
+        MacroSpec("seq5", 66, 12, 93, 5),
+        MacroSpec("seq6", 183, 74, 142, 6),
+        MacroSpec("seq7", 173, 116, 423, 7),
+        MacroSpec("seq8", 140, 23, 201, 8),
+        MacroSpec("seq9", 212, 124, 353, 9),
+    ]
+}
+
+
+def industrial_analog(name: str, scale: float = 1.0) -> Network:
+    """Generate the analog of one Table 3.2 macro block.
+
+    ``scale`` shrinks all interface quantities proportionally (the
+    pure-Python substrate is ~3 orders of magnitude slower than the
+    paper's native implementation; benchmarks default to a reduced scale
+    and note it in EXPERIMENTS.md).
+    """
+    spec = MACRO_SPECS[name]
+    return generate_macro_block(
+        name=spec.name,
+        num_inputs=max(4, round(spec.inputs * scale)),
+        num_outputs=max(2, round(spec.outputs * scale)),
+        num_latches=max(6, round(spec.latches * scale)),
+        seed=spec.seed,
+    )
+
+
+def generate_macro_block(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_latches: int,
+    seed: int = 0,
+) -> Network:
+    """Datapath + control macro block.
+
+    Roughly 30% of the latches form control FSMs (mod counters and
+    one-hot rings — sources of unreachable states); the rest are datapath
+    registers updated through mux/xor/and-or mixing of inputs, neighbour
+    registers and control bits.  Outputs are 2-3-level cones over
+    datapath registers gated by control.
+    """
+    rng = random.Random(seed)
+    network = Network(name)
+    inputs = [network.add_input(f"pi{i}") for i in range(num_inputs)]
+
+    control_budget = max(3, int(num_latches * 0.3))
+    control_bits: list[str] = []
+    block = 0
+    while len(control_bits) < control_budget:
+        size = min(control_budget - len(control_bits) + 0, rng.randint(3, 5))
+        if size < 2:
+            size = 2
+        prefix = f"ctl{block}_"
+        enable = rng.choice(inputs)
+        if rng.random() < 0.6:
+            from repro.benchgen.iscas import _random_modulus
+
+            modulus = _random_modulus(rng, size)
+            control_bits += add_mod_counter(network, prefix, size, modulus, enable)
+        else:
+            control_bits += add_onehot_ring(network, prefix, size, enable)
+        block += 1
+
+    data_budget = num_latches - len(control_bits)
+    data_bits: list[str] = []
+    lane = 0
+    while len(data_bits) > data_budget:
+        data_bits.pop()
+    while len(data_bits) < data_budget:
+        width = min(data_budget - len(data_bits), rng.randint(3, 8))
+        prefix = f"lane{lane}_"
+        data_bits += _add_datapath_lane(
+            network, prefix, width, rng, inputs, control_bits, data_bits
+        )
+        lane += 1
+
+    for index in range(num_outputs):
+        network.add_output(
+            _output_cone(network, f"po{index}", rng, inputs, control_bits, data_bits)
+        )
+    return network
+
+
+def _add_datapath_lane(
+    network: Network,
+    prefix: str,
+    width: int,
+    rng: random.Random,
+    inputs: list[str],
+    control: list[str],
+    existing_data: list[str],
+) -> list[str]:
+    """A register lane: each bit loads a mix of an input, a neighbour bit
+    and a control-selected alternative, under a control-derived enable."""
+    q = [f"{prefix}q{i}" for i in range(width)]
+    for i in range(width):
+        network.add_latch(q[i], f"{prefix}n{i}", init=False)
+    enable = rng.choice(control) if control else rng.choice(inputs)
+    not_enable = network.add_node(f"{prefix}ne", "not", [enable])
+    select = rng.choice(control) if control else rng.choice(inputs)
+    for i in range(width):
+        fresh = rng.choice(inputs)
+        neighbour = q[i - 1] if i > 0 else (
+            rng.choice(existing_data) if existing_data else rng.choice(inputs)
+        )
+        mixed = network.add_node(f"{prefix}mx{i}", "xor", [fresh, neighbour])
+        not_select = network.add_node(f"{prefix}ns{i}", "not", [select])
+        via_a = network.add_node(f"{prefix}va{i}", "and", [mixed, select])
+        via_b = network.add_node(f"{prefix}vb{i}", "and", [fresh, not_select])
+        value = network.add_node(f"{prefix}v{i}", "or", [via_a, via_b])
+        load = network.add_node(f"{prefix}ld{i}", "and", [value, enable])
+        hold = network.add_node(f"{prefix}hd{i}", "and", [q[i], not_enable])
+        network.add_node(f"{prefix}n{i}", "or", [load, hold])
+    return q
+
+
+def _output_cone(
+    network: Network,
+    prefix: str,
+    rng: random.Random,
+    inputs: list[str],
+    control: list[str],
+    data: list[str],
+) -> str:
+    """A 2-3-level output cone: AND/OR/XOR tree over data bits, gated by
+    a control bit."""
+    pool = data if data else inputs
+    arity = min(len(pool), rng.randint(3, 6))
+    chosen = rng.sample(pool, arity)
+    terms = []
+    for index in range(0, len(chosen), 2):
+        group = chosen[index : index + 2]
+        if len(group) == 1:
+            terms.append(group[0])
+        else:
+            op = rng.choice(["and", "or", "xor"])
+            terms.append(
+                network.add_node(f"{prefix}_m{index}", op, group)
+            )
+    if len(terms) > 1:
+        combined = network.add_node(
+            f"{prefix}_c", rng.choice(["and", "or", "xor"]), terms
+        )
+    else:
+        combined = terms[0]
+    gate = rng.choice(control) if control else rng.choice(inputs)
+    return network.add_node(f"{prefix}_root", rng.choice(["and", "or"]), [combined, gate])

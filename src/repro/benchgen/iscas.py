@@ -1,0 +1,233 @@
+"""ISCAS89-analog sequential circuits (substitution S1 in DESIGN.md).
+
+The original s-series netlists are an external dataset; these generators
+produce deterministic circuits with the *same interface statistics* as
+the paper's Table 3.1 selection (inputs/outputs/latches) and an
+ISCAS89-like structural character: FSM blocks (counters, one-hot rings,
+LFSRs, shift registers) whose composition leaves a known, non-trivial
+fraction of the state space unreachable, plus random small combinational
+cones for the outputs.
+
+Profiles steer the block mix: ``s838`` (a counter in the original suite)
+is counter-heavy and reaches very few of its ``2**32`` states; shift-
+register-heavy profiles reach almost everything — matching the spread of
+``log2 states`` the paper reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.benchgen.fsm import (
+    add_lfsr,
+    add_mod_counter,
+    add_onehot_ring,
+    add_shift_register,
+)
+from repro.network.netlist import Network
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Interface statistics and structural profile of one analog."""
+
+    name: str
+    inputs: int
+    outputs: int
+    latches: int
+    #: Fraction of latches placed in counter-like blocks (few reachable
+    #: states) versus shift-like blocks (all states reachable).
+    counter_fraction: float
+    seed: int
+    #: Largest FSM block size (bigger blocks -> sparser reachable sets).
+    max_block: int = 6
+
+
+#: Interface statistics copied from Table 3.1 of the paper; the
+#: counter_fraction profile is chosen to qualitatively match the
+#: ``log2 states`` column (e.g. s838 is a counter: tiny reachable set).
+ISCAS_SPECS: dict[str, CircuitSpec] = {
+    spec.name: spec
+    for spec in [
+        CircuitSpec("s344", 10, 11, 15, 0.5, 344),
+        CircuitSpec("s526", 3, 6, 21, 0.7, 526, 7),
+        CircuitSpec("s713", 36, 23, 19, 0.8, 713, 8),
+        CircuitSpec("s838", 36, 2, 32, 1.0, 838, 9),
+        CircuitSpec("s953", 17, 23, 29, 0.6, 953),
+        CircuitSpec("s1269", 18, 10, 37, 0.3, 1269),
+        CircuitSpec("s5378", 36, 49, 163, 0.15, 5378),
+        CircuitSpec("s9234", 36, 39, 145, 0.1, 9234),
+    ]
+}
+
+
+def iscas_analog(name: str, latch_scale: float = 1.0) -> Network:
+    """Generate the analog of one Table 3.1 circuit.
+
+    ``latch_scale`` < 1 shrinks the sequential part proportionally (used
+    by quick test configurations); interface input/output counts are kept.
+    """
+    spec = ISCAS_SPECS[name]
+    latches = max(3, round(spec.latches * latch_scale))
+    return generate_sequential_circuit(
+        name=spec.name,
+        num_inputs=spec.inputs,
+        num_outputs=spec.outputs,
+        num_latches=latches,
+        counter_fraction=spec.counter_fraction,
+        seed=spec.seed,
+        max_block=spec.max_block,
+    )
+
+
+def generate_sequential_circuit(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_latches: int,
+    counter_fraction: float = 0.5,
+    seed: int = 0,
+    max_block: int = 6,
+) -> Network:
+    """Compose a deterministic sequential circuit from FSM blocks.
+
+    Latches are grouped into blocks of 2..``max_block``; a
+    ``counter_fraction`` share of them become modulo counters, one-hot
+    rings or LFSRs (blocks with unreachable states), the rest shift
+    registers and gated registers (fully reachable).  Block enables and
+    data inputs are drawn from primary inputs and other blocks' state
+    bits, and each primary output is a small random cone over state bits
+    and inputs.
+    """
+    rng = random.Random(seed)
+    network = Network(name)
+    inputs = [network.add_input(f"pi{i}") for i in range(num_inputs)]
+
+    def random_input() -> str:
+        return rng.choice(inputs)
+
+    all_state: list[str] = []
+    blocks: list[list[str]] = []
+    remaining = num_latches
+    block_index = 0
+    while remaining > 0:
+        size = min(remaining, rng.randint(2, max_block))
+        # Never leave a trailing 1-latch block: grow this one instead.
+        if remaining - size == 1:
+            size = min(size + 1, remaining)
+        prefix = f"b{block_index}_"
+        enable = _make_enable(network, prefix, rng, inputs, all_state)
+        kind_roll = rng.random()
+        if kind_roll < counter_fraction:
+            flavor = rng.random()
+            if flavor < 0.6:
+                state = add_mod_counter(
+                    network, prefix, size, _random_modulus(rng, size), enable
+                )
+            elif flavor < 0.85 and size >= 3:
+                state = add_onehot_ring(network, prefix, size, enable)
+            else:
+                state = add_lfsr(network, prefix, size, enable)
+        else:
+            data = random_input()
+            state = add_shift_register(network, prefix, size, data, enable)
+        all_state.extend(state)
+        blocks.append(state)
+        remaining -= size
+        block_index += 1
+
+    for index in range(num_outputs):
+        signal = _random_cone(
+            network, f"po{index}", rng, inputs, all_state, blocks
+        )
+        network.add_output(signal)
+    return network
+
+
+def _random_modulus(rng: random.Random, bits: int) -> int:
+    """A log-uniform modulus in ``[bits+2, 2**bits - 1]`` — sparse moduli
+    (few reachable of many states) are as likely as dense ones, giving
+    the suite the spread of unreachable-state fractions that Table 3.1
+    shows."""
+    import math
+
+    low = max(3, bits + 2 if bits >= 3 else 3)
+    high = (1 << bits) - 1
+    if low >= high:
+        return high
+    exponent = rng.uniform(math.log2(low), math.log2(high))
+    return max(low, min(high, round(2.0 ** exponent)))
+
+
+def _make_enable(
+    network: Network,
+    prefix: str,
+    rng: random.Random,
+    inputs: list[str],
+    state: list[str],
+) -> str:
+    """An enable signal: an input, optionally conjoined with a state bit
+    of an earlier block (cross-coupling the FSMs)."""
+    if not inputs:
+        return network.add_node(f"{prefix}en", "const1")
+    enable = rng.choice(inputs)
+    if state and rng.random() < 0.5:
+        other = rng.choice(state)
+        return network.add_node(f"{prefix}en", "or", [enable, other])
+    return enable
+
+
+def _random_cone(
+    network: Network,
+    prefix: str,
+    rng: random.Random,
+    inputs: list[str],
+    state: list[str],
+    blocks: list[list[str]] | None = None,
+) -> str:
+    """A small random cone: a 2-level AND/OR/XOR tree over 3..6 distinct
+    signals.
+
+    Most of the support is drawn from a *single* FSM block — outputs of
+    real sequential designs decode local state, and this is what makes
+    per-block unreachable states bite as don't cares.
+    """
+    if blocks and rng.random() < 0.8:
+        home = rng.choice(blocks)
+        local = min(len(home), rng.randint(2, 4))
+        chosen = rng.sample(home, local)
+        extra_pool = [s for s in state + inputs if s not in chosen]
+        extras = min(len(extra_pool), rng.randint(1, 2))
+        chosen += rng.sample(extra_pool, extras)
+        rng.shuffle(chosen)
+    else:
+        pool = state + inputs
+        arity = min(len(pool), rng.randint(3, 6))
+        chosen = rng.sample(pool, arity)
+    terms: list[str] = []
+    term_index = 0
+    position = 0
+    while position < len(chosen):
+        take = min(len(chosen) - position, rng.randint(1, 3))
+        group = chosen[position : position + take]
+        position += take
+        if len(group) == 1:
+            if rng.random() < 0.3:
+                terms.append(
+                    network.add_node(
+                        f"{prefix}_t{term_index}", "not", group
+                    )
+                )
+            else:
+                terms.append(group[0])
+        else:
+            op = rng.choice(["and", "or", "xor"])
+            terms.append(
+                network.add_node(f"{prefix}_t{term_index}", op, group)
+            )
+        term_index += 1
+    if len(terms) == 1:
+        return network.add_node(f"{prefix}_root", "buf", terms)
+    op = rng.choice(["and", "or", "xor"])
+    return network.add_node(f"{prefix}_root", op, terms)

@@ -1,0 +1,166 @@
+"""Decomposability checks for explicitly given variable partitions
+(Section 3.3).
+
+These are the per-partition predicates that the *symbolic* formulation of
+Section 3.4 batches over all partitions at once; they also back the greedy
+baseline, which calls them in its inner loop.
+
+Conventions: a partition is described by the sets of variables that each
+decomposition function is *vacuous* in (the underlined sets of the paper).
+For OR/AND, ``xbar1``/``xbar2`` are the variables abstracted from
+``g1``/``g2``.  For XOR, ``x1`` are the variables *exclusive* to ``g1``
+(``g2`` vacuous in them), ``x2`` those exclusive to ``g2``; the rest of
+the support is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bdd import quantify as _quantify
+from repro.bdd.manager import BDDManager, TRUE
+from repro.intervals import Interval
+
+
+def or_decomposable(
+    interval: Interval, xbar1: Iterable[int], xbar2: Iterable[int]
+) -> bool:
+    """Equation (3.2): OR bi-decomposition of ``[l, u]`` with ``g1``
+    vacuous in ``xbar1`` and ``g2`` vacuous in ``xbar2`` exists iff
+
+    ``l(x) <= ∀xbar1 u(x) + ∀xbar2 u(x)``.
+    """
+    manager = interval.manager
+    bound1 = _quantify.forall(manager, interval.upper, list(xbar1))
+    bound2 = _quantify.forall(manager, interval.upper, list(xbar2))
+    return manager.leq(interval.lower, manager.apply_or(bound1, bound2))
+
+
+def and_decomposable(
+    interval: Interval, xbar1: Iterable[int], xbar2: Iterable[int]
+) -> bool:
+    """AND decomposability via duality (Section 3.3.1): ``[l, u]`` is AND
+    decomposable iff its complement interval ``[~u, ~l]`` is OR
+    decomposable."""
+    return or_decomposable(interval.complement(), xbar1, xbar2)
+
+
+def xor_decomposable(
+    interval: Interval, x1: Iterable[int], x2: Iterable[int]
+) -> bool:
+    """XOR decomposability of ``[l, u]`` with exclusive sets ``x1``/``x2``.
+
+    For a completely specified function this applies the constructive
+    test derived from [17]: fix the ``x2`` block at 0 to obtain ``g1``,
+    the ``x1`` block at 0 (plus a shared-offset correction) to obtain
+    ``g2``, and compare — the construction succeeds iff the decomposition
+    exists.  For incompletely specified functions the check is the
+    constructive one of :func:`extract_xor_candidates` — sound, and exact
+    on all exhaustive cases we test, but conservative in principle (see
+    DESIGN.md): the paper's Proposition 3.1 extension is used as the fast
+    symbolic *filter* while this check certifies a concrete result.
+    """
+    from repro.bidec.extract import extract_xor
+
+    return extract_xor(interval, x1, x2) is not None
+
+
+def xor_decomposable_cs(
+    manager: BDDManager, f: int, x1: Sequence[int], x2: Sequence[int]
+) -> bool:
+    """Constructive XOR check for a completely specified function.
+
+    ``f = g1 ⊕ g2`` with ``x1`` exclusive to ``g1`` and ``x2`` exclusive
+    to ``g2`` exists iff
+    ``f == f|x2←0  ⊕  f|x1←0  ⊕  f|x1←0,x2←0``.
+    """
+    zero1 = {var: False for var in x1}
+    zero2 = {var: False for var in x2}
+    g1 = manager.restrict(f, zero2)
+    g2 = manager.restrict(f, zero1)
+    offset = manager.restrict(f, {**zero1, **zero2})
+    candidate = manager.apply_xor(g1, manager.apply_xor(g2, offset))
+    return candidate == f
+
+
+def xor_decomposable_quantified(
+    manager: BDDManager,
+    f: int,
+    x1: Sequence[int],
+    x2: Sequence[int],
+    y_of: dict[int, int],
+) -> bool:
+    """Proposition 3.1 as a quantified formula — the explicit check whose
+    repeated evaluation makes the greedy baseline of Section 3.4.2 slow.
+
+    ``y_of`` maps each variable of ``f``'s support to a dedicated fresh
+    variable used for the primed copy.  The condition is
+
+    ``∀x1,y1,x2,x3 : [f(x1,x2,x3) ≠ f(y1,x2,x3)]
+                       ⇒ ∀y2 [f(x1,y2,x3) ≠ f(y1,y2,x3)]``.
+    """
+    from repro.bdd.compose import rename
+
+    x1 = list(x1)
+    x2 = list(x2)
+    f_y1 = rename(manager, f, {v: y_of[v] for v in x1})
+    left = manager.apply_xor(f, f_y1)
+    f_y2 = rename(manager, f, {v: y_of[v] for v in x2})
+    f_y1y2 = rename(manager, f, {v: y_of[v] for v in x1 + x2})
+    right_body = manager.apply_xor(f_y2, f_y1y2)
+    right = _quantify.forall(manager, right_body, [y_of[v] for v in x2])
+    condition = manager.implies(left, right)
+    all_vars = set(_support_vars(manager, f)) | {y_of[v] for v in x1}
+    return _quantify.forall(manager, condition, all_vars) == TRUE
+
+
+def _support_vars(manager: BDDManager, f: int) -> set[int]:
+    from repro.bdd.count import support
+
+    return support(manager, f)
+
+
+def xor_decomposable_explicit(
+    manager: BDDManager,
+    f: int,
+    x1: Sequence[int],
+    x2: Sequence[int],
+    deadline: float | None = None,
+) -> bool:
+    """Explicit cofactor-enumeration XOR check (the style of check whose
+    "potentially formidable runtime" the Section 3.4.2 table profiles).
+
+    ``f = g1 ⊕ g2`` with ``x2`` exclusive to ``g2`` exists iff for every
+    assignment β to ``x2``, the difference ``f|β ⊕ f|β0`` is independent
+    of ``x1`` (then ``g1 := f|β0`` and ``g2(β, x3) := f|β ⊕ f|β0``).
+    Exponential in ``|x2|`` by construction.  ``deadline`` is an absolute
+    ``time.perf_counter()`` cut-off; :class:`TimeoutError` is raised when
+    exceeded.
+    """
+    import itertools
+    import time as _time
+
+    from repro.bdd.count import support
+
+    x1 = list(x1)
+    x2 = list(x2)
+    base = manager.restrict(f, {v: False for v in x2})
+    x1_set = set(x1)
+    for values in itertools.product((False, True), repeat=len(x2)):
+        if deadline is not None and _time.perf_counter() > deadline:
+            raise TimeoutError("explicit XOR check exceeded its deadline")
+        cofactor = manager.restrict(f, dict(zip(x2, values)))
+        difference = manager.apply_xor(cofactor, base)
+        if support(manager, difference) & x1_set:
+            return False
+    return True
+
+
+def is_trivial_partition(
+    support: set[int], xbar1: Iterable[int], xbar2: Iterable[int]
+) -> bool:
+    """A decomposition is trivial when one of the components keeps the
+    whole support (nothing was abstracted from it)."""
+    s1 = set(xbar1) & support
+    s2 = set(xbar2) & support
+    return not s1 or not s2

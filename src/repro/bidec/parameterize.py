@@ -1,0 +1,108 @@
+"""Parameterized abstraction constructs (Sections 3.2.2 and 3.4).
+
+Quantification decisions are encoded with auxiliary decision variables
+``c``: the ITE operator selects between "variable kept" and "variable
+abstracted" per the value of its ``c`` variable, so a *single* BDD encodes
+the effect of abstracting *every* variable subset at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bdd import quantify as _quantify
+from repro.bdd.compose import vector_compose
+from repro.bdd.manager import BDDManager
+
+
+def parameterized_forall(
+    manager: BDDManager,
+    f: int,
+    x_vars: Sequence[int],
+    c_vars: Sequence[int],
+    node_budget: int | None = None,
+) -> tuple[int, list[int]] | int:
+    """The Section 3.4.1 iteration::
+
+        U <- u
+        for each x in x_vars:  U <- ITE(c_x, U, ∀x U)
+
+    Result ``U(c, x)`` equals ``f`` universally abstracted of exactly the
+    variables whose decision variable is 0.
+
+    ``node_budget`` implements the paper's resource-monitored variant
+    ("specialized BDD-based abstraction techniques that monitor resource
+    consumption could be deployed to produce solution subsets"): once the
+    manager holds more than the budgeted node count, the remaining
+    variables are left unparameterized.  With a budget the return value
+    is ``(U, skipped_c_vars)`` — the caller must force the skipped
+    decision variables to 1 (variable kept) to stay sound; without a
+    budget only ``U`` is returned.
+    """
+    if len(x_vars) != len(c_vars):
+        raise ValueError("need one decision variable per abstracted variable")
+    result = f
+    skipped: list[int] = []
+    for x, c in zip(x_vars, c_vars):
+        if node_budget is not None and manager.num_nodes > node_budget:
+            skipped.append(c)
+            continue
+        abstracted = _quantify.forall(manager, result, [x])
+        result = manager.ite(manager.var(c), result, abstracted)
+    if node_budget is None:
+        return result
+    return result, skipped
+
+
+def parameterized_exists(
+    manager: BDDManager, f: int, x_vars: Sequence[int], c_vars: Sequence[int]
+) -> int:
+    """Existential dual of :func:`parameterized_forall`:
+    ``L <- ITE(c_x, L, ∃x L)`` (Example 3.3 applies this to interval lower
+    bounds)."""
+    if len(x_vars) != len(c_vars):
+        raise ValueError("need one decision variable per abstracted variable")
+    result = f
+    for x, c in zip(x_vars, c_vars):
+        abstracted = _quantify.exists(manager, result, [x])
+        result = manager.ite(manager.var(c), result, abstracted)
+    return result
+
+
+def parameterized_replace(
+    manager: BDDManager,
+    f: int,
+    x_vars: Sequence[int],
+    y_vars: Sequence[int],
+    c_vars: Sequence[int],
+) -> int:
+    """Section 3.4.2 substitution: replace each ``x_i`` of ``f`` with
+    ``ITE(c_i, x_i, y_i)`` — the variable is swapped for its primed copy
+    exactly when its decision variable is 0."""
+    if not len(x_vars) == len(y_vars) == len(c_vars):
+        raise ValueError("x, y and c variable lists must align")
+    substitution = {
+        x: manager.ite(manager.var(c), manager.var(x), manager.var(y))
+        for x, y, c in zip(x_vars, y_vars, c_vars)
+    }
+    return vector_compose(manager, f, substitution)
+
+
+def parameterized_replace_pair(
+    manager: BDDManager,
+    f: int,
+    x_vars: Sequence[int],
+    y_vars: Sequence[int],
+    c1_vars: Sequence[int],
+    c2_vars: Sequence[int],
+) -> int:
+    """Joint substitution for the last component of (3.9): each ``x_i``
+    becomes ``ITE(c1_i · c2_i, x_i, y_i)`` — swapped when *either*
+    decision variable marks it exclusive."""
+    if not len(x_vars) == len(y_vars) == len(c1_vars) == len(c2_vars):
+        raise ValueError("x, y, c1 and c2 variable lists must align")
+    substitution = {}
+    for x, y, c1, c2 in zip(x_vars, y_vars, c1_vars, c2_vars):
+        both = manager.apply_and(manager.var(c1), manager.var(c2))
+        substitution[x] = manager.ite(both, manager.var(x), manager.var(y))
+    return vector_compose(manager, f, substitution)

@@ -1,0 +1,205 @@
+"""Recursive bi-decomposition into simple primitives.
+
+Algorithm 1 processes candidate logic "until it is fully implemented with
+simple primitives": each signal's interval is bi-decomposed, and the
+components are decomposed in turn.  The result here is a decomposition
+tree whose internal nodes are 2-input OR/AND/XOR gates and whose leaves
+are small ISOP covers (which the network builder expands into AND/OR/NOT
+gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bdd import count as _count
+from repro.bidec.api import BiDecomposition, decompose_interval
+from repro.intervals import Interval
+from repro.logic.factoring import factored_literals
+from repro.logic.sop import Cover, isop
+
+
+@dataclass(frozen=True)
+class DecTree:
+    """A node of the decomposition tree.
+
+    ``op`` is ``"or"``/``"and"``/``"xor"`` for internal nodes (two
+    children) or ``"leaf"``; ``function`` is the BDD of the implemented
+    (completely specified) function in the source manager; leaves carry
+    the ISOP ``cover`` realising it.
+    """
+
+    op: str
+    function: int
+    children: tuple["DecTree", ...] = ()
+    cover: Optional[Cover] = None
+
+    def num_gates(self) -> int:
+        """Number of internal 2-input primitive gates."""
+        if self.op == "leaf":
+            return 0
+        return 1 + sum(child.num_gates() for child in self.children)
+
+    def num_leaves(self) -> int:
+        if self.op == "leaf":
+            return 1
+        return sum(child.num_leaves() for child in self.children)
+
+    def depth(self) -> int:
+        """Levels of primitive gates on the longest path (leaves count
+        their factored-form depth as 1)."""
+        if self.op == "leaf":
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaf_literals(self) -> int:
+        """Total factored literal count across leaf covers — the
+        technology-independent area contribution of the leaves."""
+        if self.op == "leaf":
+            assert self.cover is not None
+            return factored_literals(self.cover)
+        return sum(child.leaf_literals() for child in self.children)
+
+    def cost(self) -> int:
+        """Simple area proxy: leaf literals plus two literals per
+        primitive gate."""
+        return self.leaf_literals() + 2 * self.num_gates()
+
+
+def decompose_recursive(
+    interval: Interval,
+    max_support: int = 12,
+    gates: Sequence[str] = ("or", "and", "xor"),
+    objective: str = "balanced",
+    leaf_support: int = 2,
+    reduce_supports: bool = True,
+    minimize_leaves: bool = False,
+) -> DecTree:
+    """Recursively bi-decompose an interval into a primitive-gate tree.
+
+    Each level first abstracts redundant variables (``reduce_supports``,
+    the Section 3.5.3 "abstract vars from interval" step), then applies
+    the best feasible non-trivial bi-decomposition; recursion continues
+    on the components (as exact functions — their don't-care freedom was
+    spent choosing them).  Functions whose support is at most
+    ``leaf_support``, or which admit no non-trivial decomposition, become
+    ISOP leaves (espresso-minimised with ``minimize_leaves``).
+    """
+    manager = interval.manager
+    if reduce_supports:
+        interval, _ = interval.reduce_support()
+    support = interval.support()
+    if len(support) <= leaf_support:
+        return _leaf(interval, minimize_leaves)
+    decomposition = decompose_interval(
+        interval, gates=gates, objective=objective, max_support=max_support
+    )
+    if decomposition is None:
+        return _leaf(interval, minimize_leaves)
+    left = decompose_recursive(
+        Interval.exact(manager, decomposition.g1),
+        max_support=max_support,
+        gates=gates,
+        objective=objective,
+        leaf_support=leaf_support,
+        reduce_supports=reduce_supports,
+        minimize_leaves=minimize_leaves,
+    )
+    right = decompose_recursive(
+        Interval.exact(manager, decomposition.g2),
+        max_support=max_support,
+        gates=gates,
+        objective=objective,
+        leaf_support=leaf_support,
+        reduce_supports=reduce_supports,
+        minimize_leaves=minimize_leaves,
+    )
+    function = _recompose(manager, decomposition.gate, left.function, right.function)
+    return DecTree(
+        op=decomposition.gate, function=function, children=(left, right)
+    )
+
+
+def decompose_recursive_shared(
+    interval: Interval,
+    existing: dict[int, str],
+    max_support: int = 12,
+    gates: Sequence[str] = ("or", "and", "xor"),
+    leaf_support: int = 2,
+    arrivals=None,
+) -> DecTree:
+    """Recursive bi-decomposition with sharing-aware (and optionally
+    timing-aware) partition choice at every level (Section 3.5.3:
+    "partition that best improves timing and logic sharing is selected",
+    Figure 3.2).
+
+    ``existing`` maps BDD nodes already realised in the network to signal
+    names; components matching an entry terminate recursion immediately
+    (zero rebuild cost).  The caller's instantiation pass (with the same
+    table) then wires the reused signals in.
+    """
+    from repro.synth.sharing import decompose_with_sharing
+
+    manager = interval.manager
+    interval, _ = interval.reduce_support()
+    support = interval.support()
+    if len(support) <= leaf_support:
+        return _leaf(interval)
+    if interval.is_exact() and interval.lower in existing:
+        # Entire function already present: a leaf the instantiator will
+        # replace by the existing signal (function-keyed share table).
+        return _leaf(interval)
+    if len(support) > max_support:
+        chosen = decompose_interval(
+            interval, gates=gates, max_support=max_support
+        )
+        shared = 0
+    else:
+        result = decompose_with_sharing(
+            interval, existing, gates=gates, arrivals=arrivals
+        )
+        chosen = result[0] if result else None
+        shared = result[1] if result else 0
+    if chosen is None:
+        return _leaf(interval)
+    left = decompose_recursive_shared(
+        Interval.exact(manager, chosen.g1),
+        existing,
+        max_support=max_support,
+        gates=gates,
+        leaf_support=leaf_support,
+        arrivals=arrivals,
+    )
+    right = decompose_recursive_shared(
+        Interval.exact(manager, chosen.g2),
+        existing,
+        max_support=max_support,
+        gates=gates,
+        leaf_support=leaf_support,
+        arrivals=arrivals,
+    )
+    function = _recompose(manager, chosen.gate, left.function, right.function)
+    return DecTree(op=chosen.gate, function=function, children=(left, right))
+
+
+def _recompose(manager, gate: str, g1: int, g2: int) -> int:
+    if gate == "or":
+        return manager.apply_or(g1, g2)
+    if gate == "and":
+        return manager.apply_and(g1, g2)
+    return manager.apply_xor(g1, g2)
+
+
+def _leaf(interval: Interval, minimize: bool = False) -> DecTree:
+    if minimize:
+        from repro.logic.espresso import espresso
+
+        cover = espresso(interval.manager, interval.lower, interval.upper)
+        return DecTree(
+            op="leaf",
+            function=cover.to_bdd(interval.manager),
+            cover=cover,
+        )
+    cover, g = isop(interval.manager, interval.lower, interval.upper)
+    return DecTree(op="leaf", function=g, cover=cover)

@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``stats FILE``
+    Print interface/size statistics of a BLIF or ``.bench`` netlist.
+``optimize FILE -o OUT``
+    Run the Algorithm 1 synthesis loop and write the optimised netlist.
+``map FILE``
+    Technology-map a netlist and report area/delay (optionally after
+    optimisation with ``--optimize``).
+``reach FILE``
+    Partitioned reachability analysis; report per-partition state counts
+    and the approximate ``log2`` of the reachable space.
+``decompose FILE SIGNAL``
+    Collapse one signal, retrieve its unreachable-state don't cares, and
+    report its best bi-decomposition with and without them.
+``check LEFT RIGHT``
+    Equivalence check between two netlists (BDD engine; ``--sat`` for
+    the SAT miter; ``--sequential`` for the reachable-constrained check).
+``generate NAME -o OUT``
+    Emit one of the benchmark analogs (s344..s9234, seq4..seq9) as BLIF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.network.netlist import Network
+
+
+def _load(path: str) -> Network:
+    from repro.network import read_bench, read_blif
+
+    if path.endswith(".bench"):
+        return read_bench(path)
+    return read_blif(path)
+
+
+def _save(network: Network, path: str) -> None:
+    from repro.network import expand_covers, save_bench, save_blif, save_verilog, sweep
+
+    if path.endswith(".bench"):
+        # .bench has no cover construct; expand to primitives first.
+        prepared = network.copy()
+        if any(node.op == "cover" for node in prepared.nodes.values()):
+            expand_covers(prepared)
+            sweep(prepared)
+        save_bench(prepared, path)
+    elif path.endswith(".v"):
+        save_verilog(network, path)
+    else:
+        save_blif(network, path)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    network = _load(args.file)
+    stats = network.stats()
+    print(f"{network.name}:")
+    for key, value in stats.items():
+        print(f"  {key:>8}: {value}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.network import outputs_equal
+    from repro.synth import SynthesisOptions, algorithm1
+
+    network = _load(args.file)
+    options = SynthesisOptions(
+        use_unreachable_states=not args.no_states,
+        max_partition_size=args.partition_size,
+        time_budget=args.time_budget,
+    )
+    report = algorithm1(network, options)
+    if not outputs_equal(network, report.network, cycles=32):
+        print("ERROR: random simulation found a mismatch", file=sys.stderr)
+        return 1
+    before, after = network.stats(), report.network.stats()
+    print(
+        f"literals {before['literals']} -> {after['literals']}, "
+        f"and/inv {before['and_inv']} -> {after['and_inv']}, "
+        f"decomposed {report.decomposed()} signals in {report.runtime:.1f}s"
+    )
+    _save(report.network, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    from repro.mapping import load_library, map_network
+
+    network = _load(args.file)
+    if args.optimize:
+        from repro.synth import algorithm1
+
+        network = algorithm1(network).network
+    library = load_library(args.library)
+    result = map_network(network, library, mode=args.mode)
+    print(
+        f"area={result.area:.1f} delay={result.delay:.2f} "
+        f"gates={result.num_gates}"
+    )
+    return 0
+
+
+def cmd_reach(args: argparse.Namespace) -> int:
+    from repro.reach import DontCareManager
+
+    network = _load(args.file)
+    manager = DontCareManager(
+        network,
+        max_partition_size=args.partition_size,
+        time_budget=args.time_budget,
+    )
+    manager.compute_all()
+    for index, partition in enumerate(manager.partitions):
+        result = manager.reachability(index)
+        status = "converged" if result.converged else "cut off"
+        print(
+            f"partition {index}: {len(partition.latches)} latches, "
+            f"{result.num_states()} states reached in {result.iterations} "
+            f"steps ({status}, {result.runtime:.2f}s)"
+        )
+    print(f"approx log2(reachable states) = {manager.approximate_log2_states():.2f}")
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.bdd import BDDManager, support
+    from repro.bidec import decompose_interval
+    from repro.intervals import Interval
+    from repro.network import ConeCollapser
+    from repro.reach import DontCareManager
+
+    network = _load(args.file)
+    signal = args.signal
+    if not network.is_signal(signal):
+        print(f"no signal {signal!r} in the network", file=sys.stderr)
+        return 1
+    collapser = ConeCollapser(network, BDDManager())
+    f = collapser.node_function(signal)
+    names = {var: name for name, var in collapser.var_of.items()}
+
+    def describe(result):
+        if result is None:
+            return "none"
+        s1 = sorted(names[v] for v in support(collapser.manager, result.g1))
+        s2 = sorted(names[v] for v in support(collapser.manager, result.g2))
+        return f"{result.gate.upper()}(g1{s1}, g2{s2})"
+
+    exact = decompose_interval(Interval.exact(collapser.manager, f))
+    print(f"support: {sorted(names[v] for v in support(collapser.manager, f))}")
+    print(f"without states: {describe(exact)}")
+    ps_support = {
+        name for name in network.cone_inputs(signal) if name in network.latches
+    }
+    if ps_support:
+        dcm = DontCareManager(network, max_partition_size=args.partition_size)
+        unreachable = dcm.unreachable_for(
+            ps_support, collapser.manager, collapser.var_of
+        )
+        interval = Interval.with_dont_cares(collapser.manager, f, unreachable)
+        # Section 3.5.3: abstract redundant variables first — don't cares
+        # frequently collapse the function below bi-decomposable size.
+        reduced, dropped = interval.reduce_support()
+        remaining = reduced.support()
+        if len(remaining) < 2:
+            member = reduced.any_member()
+            if member in (0, 1):
+                simplified = f"constant {member}"
+            else:
+                (var,) = support(collapser.manager, member)
+                polarity = "" if collapser.manager.hi(member) == 1 else "~"
+                simplified = f"literal {polarity}{names[var]}"
+            print(f"with states:    simplifies to {simplified}")
+        else:
+            widened = decompose_interval(reduced)
+            print(f"with states:    {describe(widened)}")
+        if dropped:
+            print(
+                "                (unreachable states made "
+                f"{sorted(names[v] for v in dropped)} redundant)"
+            )
+    else:
+        print("with states:    (no present-state support)")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.network.check import (
+        combinational_equivalent_bdd,
+        combinational_equivalent_sat,
+        sequential_equivalent_reachable,
+    )
+
+    left, right = _load(args.left), _load(args.right)
+    if args.sequential:
+        result = sequential_equivalent_reachable(left, right)
+        kind = "sequential (reachable-constrained)"
+    elif args.sat:
+        result = combinational_equivalent_sat(left, right)
+        kind = "combinational (SAT)"
+    else:
+        result = combinational_equivalent_bdd(left, right)
+        kind = "combinational (BDD)"
+    if result.equivalent:
+        print(f"EQUIVALENT [{kind}]")
+        return 0
+    print(f"NOT EQUIVALENT [{kind}]: signal {result.failing_signal}")
+    if result.counterexample:
+        print(f"counterexample: {result.counterexample}")
+    return 2
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.network import random_simulation, save_vcd
+
+    network = _load(args.file)
+    frames = random_simulation(
+        network, cycles=args.cycles, width=1, seed=args.seed
+    )
+    save_vcd(network, frames, args.output)
+    print(f"wrote {args.output}: {args.cycles} cycles, "
+          f"{len(network.inputs) + len(network.latches) + len(network.outputs)} signals")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    network = _load(args.file)
+    _save(network, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.benchgen import ISCAS_SPECS, MACRO_SPECS, industrial_analog, iscas_analog
+
+    if args.name in ISCAS_SPECS:
+        network = iscas_analog(args.name, latch_scale=args.scale)
+    elif args.name in MACRO_SPECS:
+        network = industrial_analog(args.name, scale=args.scale)
+    else:
+        known = sorted(ISCAS_SPECS) + sorted(MACRO_SPECS)
+        print(f"unknown benchmark {args.name!r}; known: {known}", file=sys.stderr)
+        return 1
+    _save(network, args.output)
+    print(f"wrote {args.output}: {network.stats()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequential logic synthesis using symbolic bi-decomposition",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="netlist statistics")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("optimize", help="run Algorithm 1")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--no-states", action="store_true",
+                   help="disable unreachable-state don't cares")
+    p.add_argument("--partition-size", type=int, default=16)
+    p.add_argument("--time-budget", type=float, default=None)
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("map", help="technology mapping")
+    p.add_argument("file")
+    p.add_argument("--library", default=None, help="genlib file (default: bundled)")
+    p.add_argument("--mode", choices=("area", "delay"), default="area")
+    p.add_argument("--optimize", action="store_true",
+                   help="run Algorithm 1 before mapping")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("reach", help="partitioned reachability analysis")
+    p.add_argument("file")
+    p.add_argument("--partition-size", type=int, default=16)
+    p.add_argument("--time-budget", type=float, default=20.0)
+    p.set_defaults(func=cmd_reach)
+
+    p = sub.add_parser("decompose", help="bi-decompose one signal")
+    p.add_argument("file")
+    p.add_argument("signal")
+    p.add_argument("--partition-size", type=int, default=16)
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("check", help="equivalence check two netlists")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--sat", action="store_true", help="use the SAT miter")
+    p.add_argument("--sequential", action="store_true",
+                   help="reachable-constrained sequential check")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("simulate", help="random simulation to a VCD trace")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--cycles", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("convert", help="convert between BLIF/.bench/Verilog")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("generate", help="emit a benchmark analog")
+    p.add_argument("name")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/main
+    raise SystemExit(main())

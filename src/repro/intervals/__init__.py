@@ -1,0 +1,6 @@
+"""Interval representation of incompletely specified functions
+(Section 3.2 of the paper)."""
+
+from repro.intervals.interval import Interval
+
+__all__ = ["Interval"]

@@ -1,0 +1,44 @@
+"""Boolean-function utilities: truth-table oracles, SOP covers (ISOP) and
+algebraic factoring for literal-count estimation."""
+
+from repro.logic.truthtable import (
+    TruthTable,
+    full_mask,
+    variable_mask,
+    npn_canonical,
+    p_canonical,
+)
+from repro.logic.sop import Cube, Cover, isop, isop_function
+from repro.logic.espresso import espresso, minimize_function
+from repro.logic.factoring import (
+    Lit,
+    AndExpr,
+    OrExpr,
+    ConstExpr,
+    Expr,
+    factor,
+    literal_count,
+    factored_literals,
+)
+
+__all__ = [
+    "TruthTable",
+    "full_mask",
+    "variable_mask",
+    "npn_canonical",
+    "p_canonical",
+    "Cube",
+    "Cover",
+    "isop",
+    "isop_function",
+    "espresso",
+    "minimize_function",
+    "Lit",
+    "AndExpr",
+    "OrExpr",
+    "ConstExpr",
+    "Expr",
+    "factor",
+    "literal_count",
+    "factored_literals",
+]

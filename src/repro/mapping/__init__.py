@@ -1,0 +1,27 @@
+"""Technology mapping: genlib libraries, cut matching and a
+load-dependent delay model (the Table 3.2 area/delay metrics)."""
+
+from repro.mapping.genlib import GenlibGate, PinTiming, parse_genlib, read_genlib
+from repro.mapping.library import Library, Match, load_library
+from repro.mapping.mapper import (
+    MappedGate,
+    MappingResult,
+    map_network,
+    prepare_subject_graph,
+    OUTPUT_LOAD,
+)
+
+__all__ = [
+    "GenlibGate",
+    "PinTiming",
+    "parse_genlib",
+    "read_genlib",
+    "Library",
+    "Match",
+    "load_library",
+    "MappedGate",
+    "MappingResult",
+    "map_network",
+    "prepare_subject_graph",
+    "OUTPUT_LOAD",
+]

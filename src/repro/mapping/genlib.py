@@ -1,0 +1,253 @@
+"""Parser for the SIS/MVSIS ``genlib`` gate-library format.
+
+Supported subset (what mcnc.genlib-style libraries use)::
+
+    GATE <name> <area> <output>=<formula>;
+        PIN <name|*> <phase> <input_load> <max_load>
+            <rise_block> <rise_fanout> <fall_block> <fall_fanout>
+
+Formulas use ``!`` (NOT), ``*`` or juxtaposition (AND), ``+`` (OR),
+``^`` (XOR), parentheses, and the constants ``0``/``1``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.logic.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class PinTiming:
+    """Per-pin timing/loading parameters (rise/fall averaged on use)."""
+
+    name: str
+    phase: str
+    input_load: float
+    max_load: float
+    rise_block: float
+    rise_fanout: float
+    fall_block: float
+    fall_fanout: float
+
+    @property
+    def block_delay(self) -> float:
+        return (self.rise_block + self.fall_block) / 2.0
+
+    @property
+    def fanout_delay(self) -> float:
+        """Load-dependent delay slope (ns per unit load)."""
+        return (self.rise_fanout + self.fall_fanout) / 2.0
+
+
+@dataclass
+class GenlibGate:
+    """One library cell: name, area, output formula and pin parameters."""
+
+    name: str
+    area: float
+    output: str
+    formula: str
+    pins: list[PinTiming] = field(default_factory=list)
+    #: Input names in formula appearance order.
+    inputs: list[str] = field(default_factory=list)
+
+    def truth_table(self) -> TruthTable:
+        """Tabulated output function, variable ``i`` = ``inputs[i]``."""
+        tree = _parse_formula(self.formula)
+        n = len(self.inputs)
+        index = {name: i for i, name in enumerate(self.inputs)}
+
+        def table(node) -> TruthTable:
+            kind = node[0]
+            if kind == "var":
+                return TruthTable.variable(index[node[1]], n)
+            if kind == "const":
+                return TruthTable.constant(node[1], n)
+            if kind == "not":
+                return ~table(node[1])
+            left, right = table(node[1]), table(node[2])
+            if kind == "and":
+                return left & right
+            if kind == "or":
+                return left | right
+            return left ^ right
+
+        return table(tree)
+
+    def pin(self, input_name: str) -> PinTiming:
+        """Timing record for one input (a ``*`` pin covers all)."""
+        for pin in self.pins:
+            if pin.name == input_name or pin.name == "*":
+                return pin
+        raise KeyError(f"no PIN record for {input_name!r} on {self.name}")
+
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][\w\[\]]*|[()!*+^01])")
+
+
+def _tokenize(formula: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(formula):
+        match = _TOKEN_RE.match(formula, position)
+        if not match:
+            if formula[position].isspace():
+                position += 1
+                continue
+            raise ValueError(f"bad formula character at {formula[position:]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def _parse_formula(formula: str):
+    """Recursive-descent parse into ('var',name) / ('const',bool) /
+    ('not',t) / ('and'|'or'|'xor',l,r) tuples.  Precedence: ! > juxtapose
+    /* > ^ > +."""
+    tokens = _tokenize(formula)
+    position = 0
+
+    def peek() -> str | None:
+        return tokens[position] if position < len(tokens) else None
+
+    def advance() -> str:
+        nonlocal position
+        token = tokens[position]
+        position += 1
+        return token
+
+    def parse_or():
+        node = parse_xor()
+        while peek() == "+":
+            advance()
+            node = ("or", node, parse_xor())
+        return node
+
+    def parse_xor():
+        node = parse_and()
+        while peek() == "^":
+            advance()
+            node = ("xor", node, parse_and())
+        return node
+
+    def parse_and():
+        node = parse_unary()
+        while True:
+            token = peek()
+            if token == "*":
+                advance()
+                node = ("and", node, parse_unary())
+            elif token is not None and (token == "(" or token == "!" or _is_atom(token)):
+                node = ("and", node, parse_unary())
+            else:
+                return node
+
+    def parse_unary():
+        token = peek()
+        if token == "!":
+            advance()
+            return ("not", parse_unary())
+        return parse_atom()
+
+    def parse_atom():
+        token = advance()
+        if token == "(":
+            node = parse_or()
+            if advance() != ")":
+                raise ValueError(f"unbalanced parentheses in {formula!r}")
+            # Postfix ' (complement) is not in genlib; nothing to do.
+            return node
+        if token == "0":
+            return ("const", False)
+        if token == "1":
+            return ("const", True)
+        if _is_atom(token):
+            return ("var", token)
+        raise ValueError(f"unexpected token {token!r} in {formula!r}")
+
+    tree = parse_or()
+    if position != len(tokens):
+        raise ValueError(f"trailing tokens in formula {formula!r}")
+    return tree
+
+
+def _is_atom(token: str) -> bool:
+    return bool(re.match(r"^[A-Za-z_]", token))
+
+
+def _formula_inputs(formula: str) -> list[str]:
+    seen: list[str] = []
+    for token in _tokenize(formula):
+        if _is_atom(token) and token not in seen:
+            seen.append(token)
+    return seen
+
+
+def parse_genlib(text: str) -> list[GenlibGate]:
+    """Parse genlib text into gate records."""
+    # Normalise: drop comments, join everything, split on GATE keywords.
+    cleaned = "\n".join(
+        line.split("#", 1)[0] for line in text.splitlines()
+    )
+    gates: list[GenlibGate] = []
+    chunks = re.split(r"\bGATE\b", cleaned)
+    for chunk in chunks[1:]:
+        gates.append(_parse_gate_chunk(chunk))
+    return gates
+
+
+def _parse_gate_chunk(chunk: str) -> GenlibGate:
+    head, _, tail = chunk.partition(";")
+    head_match = re.match(
+        r'\s*"?([\w<>.$-]+)"?\s+([\d.eE+-]+)\s+(\w+)\s*=\s*(.+)\s*$',
+        head.strip(),
+        re.S,
+    )
+    if not head_match:
+        raise ValueError(f"unparseable GATE header: {head.strip()!r}")
+    name, area_text, output, formula = head_match.groups()
+    gate = GenlibGate(
+        name=name,
+        area=float(area_text),
+        output=output,
+        formula=formula.strip(),
+        inputs=_formula_inputs(formula),
+    )
+    for pin_match in re.finditer(
+        r"PIN\s+(\S+)\s+(\w+)\s+([\d.eE+-]+)\s+([\d.eE+-]+)\s+"
+        r"([\d.eE+-]+)\s+([\d.eE+-]+)\s+([\d.eE+-]+)\s+([\d.eE+-]+)",
+        tail,
+    ):
+        (
+            pin_name,
+            phase,
+            input_load,
+            max_load,
+            rise_block,
+            rise_fanout,
+            fall_block,
+            fall_fanout,
+        ) = pin_match.groups()
+        gate.pins.append(
+            PinTiming(
+                pin_name,
+                phase,
+                float(input_load),
+                float(max_load),
+                float(rise_block),
+                float(rise_fanout),
+                float(fall_block),
+                float(fall_fanout),
+            )
+        )
+    return gate
+
+
+def read_genlib(path) -> list[GenlibGate]:
+    """Parse a genlib file from disk."""
+    from pathlib import Path
+
+    return parse_genlib(Path(path).read_text())

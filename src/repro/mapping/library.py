@@ -1,0 +1,95 @@
+"""Pattern library: genlib gates indexed by truth table for cut matching.
+
+A match table maps ``(arity, truth-table bits)`` to the cheapest library
+cell realising that function under some input permutation; the stored
+permutation tells the mapper which cut leaf drives which cell pin.
+Only permutation (P) variants are expanded — input/output polarity is
+realised structurally with inverter cells, which the subject graph
+already contains as explicit NOT nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from importlib import resources
+from typing import Optional, Sequence
+
+from repro.logic.truthtable import TruthTable
+from repro.mapping.genlib import GenlibGate, parse_genlib
+
+
+@dataclass(frozen=True)
+class Match:
+    """A cell match for a cut: ``leaf_of_pin[i]`` is the cut-leaf position
+    feeding the cell's ``i``-th input."""
+
+    gate: GenlibGate
+    leaf_of_pin: tuple[int, ...]
+
+
+class Library:
+    """Indexed gate library."""
+
+    def __init__(self, gates: Sequence[GenlibGate]) -> None:
+        self.gates = list(gates)
+        self.max_arity = max((len(g.inputs) for g in gates), default=0)
+        self._table: dict[tuple[int, int], Match] = {}
+        self.inverter: Optional[GenlibGate] = None
+        self.constant0: Optional[GenlibGate] = None
+        self.constant1: Optional[GenlibGate] = None
+        self._build()
+
+    def _build(self) -> None:
+        inv_tt = TruthTable.from_function(lambda a: not a, 1)
+        for gate in self.gates:
+            arity = len(gate.inputs)
+            table = gate.truth_table()
+            if arity == 0:
+                if table.bits == 0:
+                    self._maybe_keep_constant("constant0", gate)
+                else:
+                    self._maybe_keep_constant("constant1", gate)
+                continue
+            if arity == 1 and table.bits == inv_tt.bits:
+                if self.inverter is None or gate.area < self.inverter.area:
+                    self.inverter = gate
+            for perm in itertools.permutations(range(arity)):
+                # permute(perm) gives the function seen when leaf j drives
+                # pin perm^{-1}(j); equivalently pin i reads leaf
+                # inverse(perm)[i] — store that wiring with the match.
+                permuted = table.permute(perm)
+                inverse = tuple(perm.index(i) for i in range(arity))
+                key = (arity, permuted.bits)
+                match = Match(gate, inverse)
+                existing = self._table.get(key)
+                if existing is None or gate.area < existing.gate.area:
+                    self._table[key] = match
+
+    def _maybe_keep_constant(self, slot: str, gate: GenlibGate) -> None:
+        current = getattr(self, slot)
+        if current is None or gate.area < current.area:
+            setattr(self, slot, gate)
+
+    def match(self, table: TruthTable) -> Optional[Match]:
+        """Cheapest cell implementing ``table`` exactly (pin permutation
+        encoded in the match), or ``None``."""
+        return self._table.get((table.num_vars, table.bits))
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+def load_library(path: Optional[str] = None) -> Library:
+    """Load a genlib file; defaults to the bundled mcnc-like library."""
+    if path is None:
+        text = (
+            resources.files("repro.mapping")
+            .joinpath("data/mcnc_like.genlib")
+            .read_text()
+        )
+    else:
+        from pathlib import Path
+
+        text = Path(path).read_text()
+    return Library(parse_genlib(text))

@@ -1,0 +1,364 @@
+"""Cut-based technology mapping with a load-dependent delay model.
+
+Pipeline: the network is reduced to a 2-input subject graph (AND/OR/XOR/
+NOT), k-feasible cuts are enumerated bottom-up, each cut's function is
+tabulated and matched against the library's permutation-expanded pattern
+table, and a dynamic program picks a cover by area flow (``mode="area"``)
+or arrival time (``mode="delay"``).  Reported delay uses the genlib
+load-dependent model: pin delay = block + slope * capacitive load of the
+driven net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.logic.truthtable import TruthTable
+from repro.mapping.library import Library, Match
+from repro.network.netlist import Network
+from repro.network.transform import expand_to_two_input, strash, sweep
+
+#: Default capacitive load of a primary output / latch data pin.
+OUTPUT_LOAD = 1.0
+
+
+@dataclass
+class MappedGate:
+    """One instantiated library cell in the cover."""
+
+    output: str
+    cell_name: str
+    area: float
+    inputs: list[str]
+    #: PinTiming records aligned with ``inputs``.
+    pins: list = field(default_factory=list)
+
+
+@dataclass
+class MappingResult:
+    """A mapped netlist with its quality metrics.
+
+    ``subject`` is the normalised subject graph the cover refers to (its
+    signal names are the gate outputs; its interface equals the input
+    network's).
+    """
+
+    gates: list[MappedGate]
+    area: float
+    delay: float
+    arrival: dict[str, float]
+    num_gates: int
+    subject: Optional[Network] = None
+
+    def summary(self) -> dict[str, float]:
+        return {"area": self.area, "delay": self.delay, "gates": self.num_gates}
+
+
+def prepare_subject_graph(network: Network) -> Network:
+    """Copy and normalise a network into mapper form (2-input primitive
+    gates, structurally hashed)."""
+    subject = network.copy()
+    expand_to_two_input(subject)
+    sweep(subject)
+    strash(subject)
+    sweep(subject)
+    return subject
+
+
+def map_network(
+    network: Network,
+    library: Library,
+    mode: str = "area",
+    max_cut_size: int = 4,
+    max_cuts: int = 12,
+) -> MappingResult:
+    """Map ``network`` onto ``library``; returns the cover and metrics.
+
+    The input network may contain covers and wide gates — it is first
+    normalised with :func:`prepare_subject_graph`.
+    """
+    subject = prepare_subject_graph(network)
+    order = subject.topological_order()
+    sources = set(subject.combinational_sources())
+    fanout_counts = _fanout_counts(subject)
+
+    cuts: dict[str, list[tuple[str, ...]]] = {s: [(s,)] for s in sources}
+    matches: dict[str, list[tuple[tuple[str, ...], Match]]] = {}
+    for name in order:
+        node = subject.nodes[name]
+        if node.op in ("const0", "const1"):
+            cuts[name] = [(name,)]
+            matches[name] = [((), _constant_match(library, node.op))]
+            continue
+        node_cuts = _merge_cuts(
+            [cuts[f] for f in node.fanins], max_cut_size, max_cuts
+        )
+        cuts[name] = node_cuts + [(name,)]
+        node_matches = []
+        for cut in node_cuts:
+            table = _cut_function(subject, name, cut)
+            # Structurally redundant logic (e.g. x | ~x) can make the cut
+            # function constant or drop leaves: shrink to the true
+            # support before matching.
+            true_support = sorted(table.support())
+            if len(true_support) < len(cut):
+                if not true_support:
+                    constant = table.bits != 0
+                    gate = library.constant1 if constant else library.constant0
+                    if gate is not None:
+                        node_matches.append(((), Match(gate, ())))
+                    continue
+                cut = tuple(cut[i] for i in true_support)
+                table = _shrink_table(table, true_support)
+            match = library.match(table)
+            if match is not None:
+                node_matches.append((cut, match))
+        if not node_matches:
+            raise RuntimeError(
+                f"no library match for node {name!r} (op {node.op})"
+            )
+        matches[name] = node_matches
+
+    best_cost: dict[str, float] = {s: 0.0 for s in sources}
+    best_choice: dict[str, tuple[tuple[str, ...], Match]] = {}
+    for name in order:
+        node = subject.nodes[name]
+        if node.op in ("const0", "const1"):
+            best_cost[name] = 0.0
+            best_choice[name] = matches[name][0]
+            continue
+        best = None
+        best_key = None
+        for cut, match in matches[name]:
+            if mode == "area":
+                cost = match.gate.area + sum(best_cost[l] for l in cut)
+                cost /= max(1, fanout_counts.get(name, 1))
+            else:  # delay: load-independent estimate during covering
+                pin_delays = [
+                    match.gate.pin(match.gate.inputs[i]).block_delay
+                    + match.gate.pin(match.gate.inputs[i]).fanout_delay
+                    for i in range(len(match.gate.inputs))
+                ]
+                cost = max(
+                    best_cost[leaf] + pin_delays[pin]
+                    for pin, leaf_pos in enumerate(match.leaf_of_pin)
+                    for leaf in [cut[leaf_pos]]
+                ) if cut else 0.0
+            tie_break = (cost, match.gate.area, len(cut))
+            if best_key is None or tie_break < best_key:
+                best_key = tie_break
+                best = (cut, match)
+        assert best is not None
+        best_cost[name] = best_key[0]
+        best_choice[name] = best
+
+    gates = _extract_cover(subject, best_choice, sources)
+    area = sum(g.area for g in gates)
+    arrival = _compute_arrivals(subject, gates, sources)
+    sinks = subject.combinational_sinks()
+    delay = max((arrival.get(s, 0.0) for s in sinks), default=0.0)
+    return MappingResult(
+        gates=gates,
+        area=area,
+        delay=delay,
+        arrival=arrival,
+        num_gates=len(gates),
+        subject=subject,
+    )
+
+
+def mapped_to_network(
+    original: Network, result: MappingResult, library: Library
+) -> Network:
+    """Rebuild a :class:`Network` from a mapping cover (each cell becomes
+    a cover node tabulating its genlib function) — used to verify that
+    mapping preserved functionality."""
+    from repro.logic.sop import isop_function
+    from repro.bdd.manager import BDDManager
+
+    reference = result.subject if result.subject is not None else original
+    rebuilt = Network(f"{original.name}_mapped")
+    for name in reference.inputs:
+        rebuilt.add_input(name)
+    for latch in reference.latches.values():
+        rebuilt.add_latch(latch.name, latch.data_in, latch.init)
+    for gate in result.gates:
+        cell = next(g for g in library.gates if g.name == gate.cell_name)
+        table = cell.truth_table()
+        arity = len(cell.inputs)
+        manager = BDDManager(max(arity, 1))
+        node = table.to_bdd(manager, list(range(arity))) if arity else (
+            1 if table.bits else 0
+        )
+        cover = isop_function(manager, node)
+        rebuilt.add_node(gate.output, "cover", gate.inputs, cover)
+    for output in reference.outputs:
+        rebuilt.add_output(output)
+    for sink in reference.combinational_sinks():
+        if not rebuilt.is_signal(sink):
+            raise RuntimeError(f"mapped cover lost sink {sink!r}")
+    return rebuilt
+
+
+def _constant_match(library: Library, op: str) -> Match:
+    gate = library.constant0 if op == "const0" else library.constant1
+    if gate is None:
+        raise RuntimeError(f"library lacks a {op} cell")
+    return Match(gate, ())
+
+
+def _fanout_counts(network: Network) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for node in network.nodes.values():
+        for fanin in node.fanins:
+            counts[fanin] = counts.get(fanin, 0) + 1
+    for sink in network.combinational_sinks():
+        counts[sink] = counts.get(sink, 0) + 1
+    return counts
+
+
+def _merge_cuts(
+    fanin_cuts: Sequence[list[tuple[str, ...]]],
+    max_cut_size: int,
+    max_cuts: int,
+) -> list[tuple[str, ...]]:
+    if not fanin_cuts:
+        return []
+    merged: list[frozenset[str]] = [frozenset(c) for c in fanin_cuts[0]]
+    for cut_list in fanin_cuts[1:]:
+        combined = []
+        for left in merged:
+            for right in cut_list:
+                union = left | frozenset(right)
+                if len(union) <= max_cut_size:
+                    combined.append(union)
+        merged = combined
+    # Deduplicate and drop dominated cuts (supersets of another cut).
+    unique = sorted(set(merged), key=lambda c: (len(c), sorted(c)))
+    kept: list[frozenset[str]] = []
+    for cut in unique:
+        if not any(other < cut for other in kept):
+            kept.append(cut)
+        if len(kept) >= max_cuts:
+            break
+    return [tuple(sorted(cut)) for cut in kept]
+
+
+def _shrink_table(table: TruthTable, keep: list[int]) -> TruthTable:
+    """Project a table onto the listed (independent-complement) inputs:
+    variable ``i`` of the result reads old variable ``keep[i]``."""
+    bits = 0
+    for minterm in range(1 << len(keep)):
+        source = 0
+        for new_index, old_index in enumerate(keep):
+            if (minterm >> new_index) & 1:
+                source |= 1 << old_index
+        if (table.bits >> source) & 1:
+            bits |= 1 << minterm
+    return TruthTable(bits, len(keep))
+
+
+def _cut_function(network: Network, root: str, cut: tuple[str, ...]) -> TruthTable:
+    position = {leaf: i for i, leaf in enumerate(cut)}
+    cache: dict[str, TruthTable] = {}
+    n = len(cut)
+
+    def table_of(name: str) -> TruthTable:
+        if name in position:
+            return TruthTable.variable(position[name], n)
+        cached = cache.get(name)
+        if cached is not None:
+            return cached
+        node = network.nodes[name]
+        operands = [table_of(f) for f in node.fanins]
+        if node.op == "and":
+            result = operands[0]
+            for operand in operands[1:]:
+                result = result & operand
+        elif node.op == "or":
+            result = operands[0]
+            for operand in operands[1:]:
+                result = result | operand
+        elif node.op == "xor":
+            result = operands[0]
+            for operand in operands[1:]:
+                result = result ^ operand
+        elif node.op == "not":
+            result = ~operands[0]
+        elif node.op == "buf":
+            result = operands[0]
+        elif node.op == "const0":
+            result = TruthTable.constant(False, n)
+        elif node.op == "const1":
+            result = TruthTable.constant(True, n)
+        else:
+            raise ValueError(f"unexpected op {node.op!r} in subject graph")
+        cache[name] = result
+        return result
+
+    return table_of(root)
+
+
+def _extract_cover(
+    network: Network,
+    best_choice: dict[str, tuple[tuple[str, ...], Match]],
+    sources: set[str],
+) -> list[MappedGate]:
+    gates: list[MappedGate] = []
+    required = [s for s in network.combinational_sinks() if s not in sources]
+    visited: set[str] = set()
+    stack = list(required)
+    while stack:
+        name = stack.pop()
+        if name in visited or name in sources:
+            continue
+        visited.add(name)
+        cut, match = best_choice[name]
+        ordered_inputs = [cut[match.leaf_of_pin[i]] for i in range(len(match.leaf_of_pin))]
+        gates.append(
+            MappedGate(
+                output=name,
+                cell_name=match.gate.name,
+                area=match.gate.area,
+                inputs=ordered_inputs,
+                pins=[match.gate.pin(p) for p in match.gate.inputs],
+            )
+        )
+        stack.extend(leaf for leaf in cut if leaf not in sources)
+    return gates
+
+
+def _compute_arrivals(
+    network: Network,
+    gates: list[MappedGate],
+    sources: set[str],
+) -> dict[str, float]:
+    gate_of = {g.output: g for g in gates}
+    # Net loads: sum of input loads of driven pins, plus sink load.
+    load: dict[str, float] = {}
+    for gate in gates:
+        for signal, pin in zip(gate.inputs, gate.pins):
+            load[signal] = load.get(signal, 0.0) + pin.input_load
+    for sink in network.combinational_sinks():
+        load[sink] = load.get(sink, 0.0) + OUTPUT_LOAD
+
+    arrival: dict[str, float] = {s: 0.0 for s in sources}
+
+    def visit(signal: str) -> float:
+        if signal in arrival:
+            return arrival[signal]
+        gate = gate_of[signal]
+        out_load = load.get(signal, OUTPUT_LOAD)
+        time = 0.0
+        for input_signal, pin in zip(gate.inputs, gate.pins):
+            pin_delay = pin.block_delay + pin.fanout_delay * out_load
+            time = max(time, visit(input_signal) + pin_delay)
+        if not gate.inputs:  # constants
+            time = 0.0
+        arrival[signal] = time
+        return time
+
+    for gate in gates:
+        visit(gate.output)
+    return arrival

@@ -1,0 +1,326 @@
+"""And-Inverter Graphs (AIGs).
+
+The paper reports circuit sizes "in its and/inv expansion" (Table 3.2's
+AND column); this module provides the real thing: a structurally hashed
+AIG with complemented edges, conversion from/to :class:`Network`,
+bit-parallel simulation, level computation and tree balancing.
+
+Literal convention: literal = 2*node + complement bit; node 0 is the
+constant, so literal 0 = FALSE and literal 1 = TRUE.  Node indices 1..n
+are inputs, the rest AND nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.network.netlist import Network
+
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+def lit_not(literal: int) -> int:
+    """Complement a literal."""
+    return literal ^ 1
+
+
+def lit_node(literal: int) -> int:
+    return literal >> 1
+
+
+def lit_compl(literal: int) -> bool:
+    return bool(literal & 1)
+
+
+class Aig:
+    """A combinational AIG with structural hashing."""
+
+    def __init__(self) -> None:
+        self.num_inputs = 0
+        self.input_names: list[str] = []
+        # AND nodes: parallel arrays of fanin literals; index 0 unused
+        # padding so that and-node k lives at node index
+        # 1 + num_inputs + k.  Inputs must be created before ANDs.
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._strash: dict[tuple[int, int], int] = {}
+        self.outputs: dict[str, int] = {}
+        self._frozen_inputs = False
+
+    # -- construction ----------------------------------------------------
+
+    def add_input(self, name: Optional[str] = None) -> int:
+        if self._frozen_inputs:
+            raise ValueError("inputs must be created before AND nodes")
+        self.num_inputs += 1
+        self.input_names.append(name or f"i{self.num_inputs - 1}")
+        return 2 * self.num_inputs  # node index == num_inputs
+
+    def _first_and_node(self) -> int:
+        return 1 + self.num_inputs
+
+    def and_(self, a: int, b: int) -> int:
+        """Structurally hashed AND with constant/trivial folding."""
+        if a > b:
+            a, b = b, a
+        if a == FALSE_LIT:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE_LIT
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            self._frozen_inputs = True
+            node = self._first_and_node() + len(self._left)
+            self._left.append(a)
+            self._right.append(b)
+            self._strash[key] = node
+        return 2 * node
+
+    def or_(self, a: int, b: int) -> int:
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(
+            self.and_(a, lit_not(b)), self.and_(lit_not(a), b)
+        )
+
+    def mux(self, select: int, hi: int, lo: int) -> int:
+        return self.or_(self.and_(select, hi), self.and_(lit_not(select), lo))
+
+    def add_output(self, name: str, literal: int) -> None:
+        self.outputs[name] = literal
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_ands(self) -> int:
+        """Total AND nodes created (the Table 3.2 AND metric over the
+        whole graph)."""
+        return len(self._left)
+
+    def fanins(self, node: int) -> tuple[int, int]:
+        index = node - self._first_and_node()
+        return self._left[index], self._right[index]
+
+    def is_and(self, node: int) -> bool:
+        return node >= self._first_and_node()
+
+    def cone_ands(self, literals: Sequence[int]) -> int:
+        """Number of AND nodes in the transitive fanin of the given
+        literals (dangling nodes excluded)."""
+        seen: set[int] = set()
+        stack = [lit_node(l) for l in literals]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node in seen or not self.is_and(node):
+                continue
+            seen.add(node)
+            count += 1
+            left, right = self.fanins(node)
+            stack.append(lit_node(left))
+            stack.append(lit_node(right))
+        return count
+
+    def levels(self) -> dict[int, int]:
+        """AND-level of every node (inputs/constant at level 0)."""
+        level: dict[int, int] = {0: 0}
+        for i in range(1, self._first_and_node()):
+            level[i] = 0
+        for index in range(len(self._left)):
+            node = self._first_and_node() + index
+            left, right = self._left[index], self._right[index]
+            level[node] = 1 + max(level[lit_node(left)], level[lit_node(right)])
+        return level
+
+    def depth(self) -> int:
+        """Maximum output level."""
+        if not self.outputs:
+            return 0
+        level = self.levels()
+        return max(level[lit_node(l)] for l in self.outputs.values())
+
+    # -- evaluation ----------------------------------------------------------
+
+    def simulate(self, input_values: Mapping[str, int], width: int) -> dict[str, int]:
+        """Bit-parallel evaluation; returns output name -> bit vector."""
+        mask = (1 << width) - 1
+        values: list[int] = [0] * self._first_and_node()
+        for i, name in enumerate(self.input_names):
+            values[1 + i] = input_values[name] & mask
+
+        def literal_value(literal: int) -> int:
+            value = values[lit_node(literal)]
+            return (~value & mask) if lit_compl(literal) else value
+
+        for index in range(len(self._left)):
+            values.append(
+                literal_value(self._left[index]) & literal_value(self._right[index])
+            )
+        # constant node: values[0] = 0 -> literal 1 = ~0 = mask. Correct.
+        return {
+            name: literal_value(literal)
+            for name, literal in self.outputs.items()
+        }
+
+
+def from_network(network: Network) -> tuple[Aig, dict[str, int]]:
+    """Convert the combinational core of a network to an AIG.
+
+    Latch outputs become AIG inputs; returns the AIG plus a map from
+    every network signal to its literal.  Outputs registered on the AIG
+    are the network's combinational sinks.
+    """
+    aig = Aig()
+    literal_of: dict[str, int] = {}
+    for name in network.combinational_sources():
+        literal_of[name] = aig.add_input(name)
+    for name in network.topological_order():
+        node = network.nodes[name]
+        operands = [literal_of[f] for f in node.fanins]
+        if node.op == "and":
+            literal = TRUE_LIT
+            for operand in operands:
+                literal = aig.and_(literal, operand)
+        elif node.op == "or":
+            literal = FALSE_LIT
+            for operand in operands:
+                literal = aig.or_(literal, operand)
+        elif node.op == "xor":
+            literal = FALSE_LIT
+            for operand in operands:
+                literal = aig.xor_(literal, operand)
+        elif node.op == "not":
+            literal = lit_not(operands[0])
+        elif node.op == "buf":
+            literal = operands[0]
+        elif node.op == "const0":
+            literal = FALSE_LIT
+        elif node.op == "const1":
+            literal = TRUE_LIT
+        else:  # cover
+            assert node.cover is not None
+            literal = FALSE_LIT
+            for cube in node.cover:
+                term = TRUE_LIT
+                for position, polarity in cube.literals:
+                    operand = operands[position]
+                    term = aig.and_(
+                        term, operand if polarity else lit_not(operand)
+                    )
+                literal = aig.or_(literal, term)
+        literal_of[name] = literal
+    for sink in network.combinational_sinks():
+        aig.add_output(sink, literal_of[sink])
+    return aig, literal_of
+
+
+def to_network(aig: Aig, name: str = "from_aig") -> Network:
+    """Expand an AIG into a Network of 2-input ANDs and NOTs."""
+    network = Network(name)
+    signal_of: dict[int, str] = {}
+    for input_name in aig.input_names:
+        network.add_input(input_name)
+    for i in range(aig.num_inputs):
+        signal_of[1 + i] = aig.input_names[i]
+    const_needed = any(
+        lit_node(l) == 0 for l in aig.outputs.values()
+    )
+    if const_needed:
+        network.add_node("aig_const0", "const0")
+        signal_of[0] = "aig_const0"
+
+    negations: dict[int, str] = {}
+
+    def literal_signal(literal: int) -> str:
+        node = lit_node(literal)
+        if node == 0 and node not in signal_of:
+            network.add_node("aig_const0", "const0")
+            signal_of[0] = "aig_const0"
+        base = signal_of[node]
+        if not lit_compl(literal):
+            return base
+        cached = negations.get(literal)
+        if cached is None:
+            cached = network.add_node(
+                network.fresh_name(f"{base}_n"), "not", [base]
+            )
+            negations[literal] = cached
+        return cached
+
+    for index in range(aig.num_ands):
+        node = aig._first_and_node() + index
+        left, right = aig.fanins(node)
+        signal_of[node] = network.add_node(
+            network.fresh_name("aand"),
+            "and",
+            [literal_signal(left), literal_signal(right)],
+        )
+    for out_name, literal in aig.outputs.items():
+        network.add_node(out_name, "buf", [literal_signal(literal)])
+        network.add_output(out_name)
+    return network
+
+
+def balance(aig: Aig) -> Aig:
+    """Rebuild with depth-balanced AND trees (ABC's ``balance`` in
+    miniature): each maximal same-polarity conjunction chain is flattened
+    and re-associated, combining the shallowest operands first."""
+    import heapq
+
+    balanced = Aig()
+    for name in aig.input_names:
+        balanced.add_input(name)
+    # Map OLD positive literal -> NEW literal (complements follow by ^1).
+    lit_map: dict[int, int] = {0: 0}
+    for i in range(1, aig._first_and_node()):
+        lit_map[2 * i] = 2 * i
+    new_levels: dict[int, int] = {}
+
+    def mapped(old_literal: int) -> int:
+        return lit_map[old_literal & ~1] ^ (old_literal & 1)
+
+    def level_of(new_literal: int) -> int:
+        return new_levels.get(lit_node(new_literal), 0)
+
+    def gather(old_literal: int, leaves: list[int]) -> None:
+        """Flatten a positive-polarity AND chain of the old graph."""
+        node = lit_node(old_literal)
+        if lit_compl(old_literal) or not aig.is_and(node):
+            leaves.append(old_literal)
+            return
+        left, right = aig.fanins(node)
+        gather(left, leaves)
+        gather(right, leaves)
+
+    for index in range(aig.num_ands):
+        node = aig._first_and_node() + index
+        leaves: list[int] = []
+        gather(2 * node, leaves)
+        heap = [
+            (level_of(mapped(leaf)), i, mapped(leaf))
+            for i, leaf in enumerate(leaves)
+        ]
+        heapq.heapify(heap)
+        counter = len(heap)
+        while len(heap) > 1:
+            l1, _, a = heapq.heappop(heap)
+            l2, _, b = heapq.heappop(heap)
+            combined = balanced.and_(a, b)
+            if balanced.is_and(lit_node(combined)):
+                new_levels.setdefault(lit_node(combined), max(l1, l2) + 1)
+            heapq.heappush(
+                heap, (level_of(combined), counter, combined)
+            )
+            counter += 1
+        lit_map[2 * node] = heap[0][2] if heap else TRUE_LIT
+    for name, literal in aig.outputs.items():
+        balanced.add_output(name, mapped(literal))
+    return balanced

@@ -1,0 +1,140 @@
+"""Building BDDs for network cones (the "selectively collapse logic" step
+of Algorithm 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.bdd.manager import BDDManager, FALSE, TRUE
+from repro.network.netlist import Network
+
+
+class ConeCollapser:
+    """Collapses combinational cones of a network into BDDs.
+
+    One manager hosts a variable per combinational source (primary input
+    or latch output), created lazily in a caller-controllable order; node
+    functions are cached so overlapping cones share work.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        manager: Optional[BDDManager] = None,
+        source_order: Optional[Sequence[str]] = None,
+        cut_points: Optional[set[str]] = None,
+    ) -> None:
+        self.network = network
+        self.manager = manager if manager is not None else BDDManager()
+        #: Internal signals treated as free variables (cut points) — used
+        #: by observability-don't-care computation.
+        self.cut_points = set(cut_points or ())
+        self._var_of: dict[str, int] = {}
+        self._cache: dict[str, int] = {}
+        if source_order is not None:
+            for name in source_order:
+                self.source_var(name)
+
+    def source_var(self, name: str) -> int:
+        """Manager variable index for a combinational source signal (or a
+        declared cut point)."""
+        var = self._var_of.get(name)
+        if var is None:
+            is_source = (
+                name in self.network.inputs or name in self.network.latches
+            )
+            if not is_source and name not in self.cut_points:
+                raise KeyError(f"{name!r} is not a combinational source")
+            var = self.manager.new_var(name)
+            self._var_of[name] = var
+        return var
+
+    @property
+    def var_of(self) -> Mapping[str, int]:
+        """Read-only view of the source-to-variable assignment."""
+        return dict(self._var_of)
+
+    def node_function(self, signal: str) -> int:
+        """BDD of ``signal`` in terms of combinational sources (and cut
+        points)."""
+        if (
+            signal in self.network.inputs
+            or signal in self.network.latches
+            or signal in self.cut_points
+        ):
+            return self.manager.var(self.source_var(signal))
+        cached = self._cache.get(signal)
+        if cached is not None:
+            return cached
+        # Iterative cone evaluation in topological order restricted to the
+        # transitive fanin, to avoid Python recursion limits on deep cones.
+        cone = self.network.transitive_fanin([signal])
+        for name in self.network.topological_order():
+            if name not in cone or name in self._cache:
+                continue
+            if name in self.cut_points:
+                continue  # read as a free variable, never evaluated
+            node = self.network.nodes[name]
+            operands = [self._signal_node(fanin) for fanin in node.fanins]
+            self._cache[name] = self._apply(node, operands)
+        return self._cache[signal]
+
+    def _signal_node(self, name: str) -> int:
+        if (
+            name in self.network.inputs
+            or name in self.network.latches
+            or name in self.cut_points
+        ):
+            return self.manager.var(self.source_var(name))
+        return self._cache[name]
+
+    def _apply(self, node, operands: list[int]) -> int:
+        manager = self.manager
+        if node.op == "and":
+            return manager.conjoin(operands)
+        if node.op == "or":
+            return manager.disjoin(operands)
+        if node.op == "xor":
+            result = FALSE
+            for operand in operands:
+                result = manager.apply_xor(result, operand)
+            return result
+        if node.op == "not":
+            return manager.negate(operands[0])
+        if node.op == "buf":
+            return operands[0]
+        if node.op == "const0":
+            return FALSE
+        if node.op == "const1":
+            return TRUE
+        # cover
+        assert node.cover is not None
+        result = FALSE
+        for cube in node.cover:
+            term = TRUE
+            for position, polarity in cube.literals:
+                literal = operands[position]
+                term = manager.apply_and(
+                    term, literal if polarity else manager.negate(literal)
+                )
+            result = manager.apply_or(result, term)
+        return result
+
+    def functions(self, signals: Iterable[str]) -> dict[str, int]:
+        """Collapse several signals at once (shared subcones are reused)."""
+        return {signal: self.node_function(signal) for signal in signals}
+
+    def invalidate(self, signals: Iterable[str]) -> None:
+        """Drop cached functions for signals (and their transitive
+        fanouts) after a network edit."""
+        dirty = set(signals)
+        fanouts = self.network.fanout_map()
+        stack = list(dirty)
+        while stack:
+            name = stack.pop()
+            for reader in fanouts.get(name, ()):
+                if reader not in dirty:
+                    dirty.add(reader)
+                    stack.append(reader)
+        for name in dirty:
+            self._cache.pop(name, None)

@@ -1,0 +1,95 @@
+"""Observability don't cares (ODCs).
+
+The paper extracts *external* don't cares from unreachable states
+(Section 3.5.1, following Savoj/Brayton [20]); the natural companion —
+also rooted in [20] — is the observability don't care of an internal
+signal: input assignments under which the signal's value cannot be seen
+at any output or next-state function.  On those assignments the signal
+may be re-implemented freely, widening the interval handed to
+bi-decomposition beyond what unreachable states alone provide.
+
+Computation is the textbook one: treat the signal as a free variable
+``s`` (a cut point), build every sink function ``F(x, s)``, and
+
+``ODC(x) = ∧_sinks [ F(x, s=0)  ≡  F(x, s=1) ]``.
+
+Caveat (documented, asserted in tests): ODCs of *different* signals are
+not simultaneously usable without compatibility bookkeeping; the helpers
+here are for one-signal-at-a-time re-implementation, which is exactly how
+Algorithm 1's loop consumes don't cares.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bdd.manager import BDDManager, TRUE
+from repro.network.bdd_build import ConeCollapser
+from repro.network.netlist import Network
+
+
+def observability_dont_cares(
+    network: Network,
+    signal: str,
+    collapser: Optional[ConeCollapser] = None,
+) -> tuple[int, ConeCollapser]:
+    """ODC set of ``signal`` over the network's combinational sources.
+
+    Returns ``(odc_node, collapser)``; the collapser (created fresh
+    unless supplied) carries the source-variable map the node is over.
+    The signal itself must be an internal node.
+    """
+    if signal not in network.nodes:
+        raise ValueError(f"{signal!r} is not an internal node")
+    if collapser is None:
+        collapser = ConeCollapser(network, BDDManager(), cut_points={signal})
+    elif signal not in collapser.cut_points:
+        raise ValueError("collapser must declare the signal as a cut point")
+    manager = collapser.manager
+    cut_var = collapser.source_var(signal)
+    odc = TRUE
+    for sink in network.combinational_sinks():
+        if sink in network.inputs or sink in network.latches:
+            continue
+        f = collapser.node_function(sink)
+        low = manager.cofactor(f, cut_var, False)
+        high = manager.cofactor(f, cut_var, True)
+        odc = manager.apply_and(odc, manager.apply_xnor(low, high))
+        if odc == 0:
+            break
+    return odc, collapser
+
+
+def signal_interval_with_odc(
+    network: Network,
+    signal: str,
+    extra_dont_cares: int = 0,
+):
+    """The re-implementation interval of one signal: ``[f·~dc, f+dc]``
+    with ``dc = ODC(signal) | extra_dont_cares``.
+
+    ``extra_dont_cares`` (e.g. unreachable states transferred into the
+    returned collapser's manager by the caller) is OR-ed in.  Returns
+    ``(interval, collapser)``.
+    """
+    from repro.intervals import Interval
+
+    odc, collapser = observability_dont_cares(network, signal)
+    manager = collapser.manager
+    # The signal's own function, computed WITHOUT the cut (fresh
+    # collapser sharing the same manager and source variables).
+    inner = ConeCollapser(network, manager)
+    inner._var_of = {
+        name: var
+        for name, var in collapser.var_of.items()
+        if name != signal
+    }
+    f = inner.node_function(signal)
+    # Sources first seen behind the cut point were allocated by the inner
+    # collapser; publish them on the outer one so its variable map covers
+    # the returned interval's support.
+    for name, var in inner.var_of.items():
+        if name not in collapser._var_of:
+            collapser._var_of[name] = var
+    dont_care = manager.apply_or(odc, extra_dont_cares)
+    return Interval.with_dont_cares(manager, f, dont_care), collapser

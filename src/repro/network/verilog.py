@@ -1,0 +1,125 @@
+"""Structural Verilog writer.
+
+Emits a synthesisable gate-level module from a :class:`Network`: inputs,
+outputs, one ``always @(posedge clk)`` block for the latches, and
+``assign`` statements for the logic (covers become sum-of-products
+expressions).  A ``clk`` port is added when the design is sequential.
+
+This is a writer only — round-tripping Verilog is out of scope; BLIF is
+the library's native interchange format.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.network.netlist import Network
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-escape a signal name if it is not a plain identifier."""
+    if _ID_RE.match(name) and name not in _KEYWORDS:
+        return name
+    return f"\\{name} "
+
+
+_KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "begin", "end", "posedge", "negedge", "if", "else", "initial",
+}
+
+
+def _expression(network: Network, name: str) -> str:
+    node = network.nodes[name]
+    operands = [_escape(f) for f in node.fanins]
+    if node.op == "and":
+        return " & ".join(operands)
+    if node.op == "or":
+        return " | ".join(operands)
+    if node.op == "xor":
+        return " ^ ".join(operands)
+    if node.op == "not":
+        return f"~{operands[0]}"
+    if node.op == "buf":
+        return operands[0]
+    if node.op == "const0":
+        return "1'b0"
+    if node.op == "const1":
+        return "1'b1"
+    # cover: sum of products over fanin positions.
+    assert node.cover is not None
+    if not node.cover.cubes:
+        return "1'b0"
+    terms = []
+    for cube in node.cover:
+        if len(cube) == 0:
+            return "1'b1"
+        literals = [
+            operands[pos] if polarity else f"~{operands[pos]}"
+            for pos, polarity in cube.literals
+        ]
+        terms.append(
+            "(" + " & ".join(literals) + ")" if len(literals) > 1 else literals[0]
+        )
+    return " | ".join(terms)
+
+
+def write_verilog(network: Network, module_name: str | None = None) -> str:
+    """Serialise a network as a structural Verilog module."""
+    module = module_name or network.name or "top"
+    sequential = bool(network.latches)
+    ports = []
+    if sequential:
+        ports.append("clk")
+    ports += [_escape(n) for n in network.inputs]
+    # Outputs may alias internal signals; emit dedicated output wires.
+    output_ports = [f"po_{i}" for i in range(len(network.outputs))]
+    ports += output_ports
+
+    lines = [f"module {_escape(module)} ("]
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    if sequential:
+        lines.append("  input clk;")
+    for name in network.inputs:
+        lines.append(f"  input {_escape(name)};")
+    for port in output_ports:
+        lines.append(f"  output {port};")
+    for name in network.latches:
+        lines.append(f"  reg {_escape(name)};")
+    for name in network.nodes:
+        lines.append(f"  wire {_escape(name)};")
+    lines.append("")
+    for name in network.topological_order():
+        lines.append(
+            f"  assign {_escape(name)} = {_expression(network, name)};"
+        )
+    lines.append("")
+    for index, signal in enumerate(network.outputs):
+        lines.append(f"  assign po_{index} = {_escape(signal)};")
+    if sequential:
+        lines.append("")
+        lines.append("  always @(posedge clk) begin")
+        for latch in network.latches.values():
+            lines.append(
+                f"    {_escape(latch.name)} <= {_escape(latch.data_in)};"
+            )
+        lines.append("  end")
+        lines.append("")
+        lines.append("  initial begin")
+        for latch in network.latches.values():
+            value = "1'b1" if latch.init else "1'b0"
+            lines.append(f"    {_escape(latch.name)} = {value};")
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(
+    network: Network, path: str | Path, module_name: str | None = None
+) -> None:
+    """Write a network to a Verilog file."""
+    Path(path).write_text(write_verilog(network, module_name))

@@ -1,0 +1,79 @@
+"""Image computation for symbolic traversal.
+
+Two strategies, compared by the A1 ablation bench:
+
+* monolithic — conjoin the full transition relation once, then a single
+  relational product per step;
+* early quantification — keep the relation as per-latch conjuncts and
+  quantify each variable as soon as no remaining conjunct mentions it
+  (the standard IWLS-era schedule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bdd import count as _count
+from repro.bdd import quantify as _quantify
+from repro.bdd.compose import rename
+from repro.bdd.manager import BDDManager
+from repro.reach.transition import TransitionSystem
+
+
+def image_monolithic(
+    ts: TransitionSystem, states: int, relation: int
+) -> int:
+    """``∃ ps, free . states(ps) & T(ps, free, ns)`` renamed to PS vars."""
+    manager = ts.manager
+    quantified = _quantify.and_exists(
+        manager, states, relation, ts.ps_vars() + ts.free_vars()
+    )
+    return rename(manager, quantified, ts.ns_to_ps())
+
+
+def image_early(
+    ts: TransitionSystem, states: int, parts: Sequence[int]
+) -> int:
+    """Clustered image with early quantification.
+
+    Conjuncts are folded in one at a time; after each fold, the variables
+    that no later conjunct mentions are existentially quantified away
+    immediately, keeping intermediate products small.
+    """
+    manager = ts.manager
+    to_quantify = set(ts.ps_vars()) | set(ts.free_vars())
+    supports = [_count.support(manager, part) for part in parts]
+    current = states
+    remaining_support: list[set[int]] = []
+    running: set[int] = set()
+    for support in reversed(supports):
+        remaining_support.append(set(running))
+        running |= support
+    remaining_support.reverse()
+    for index, part in enumerate(parts):
+        current = manager.apply_and(current, part)
+        later = remaining_support[index]
+        ready = (
+            (to_quantify & (supports[index] | _count.support(manager, current)))
+            - later
+        )
+        if ready:
+            current = _quantify.exists(manager, current, ready)
+            to_quantify -= ready
+    if to_quantify:
+        current = _quantify.exists(manager, current, to_quantify)
+    return rename(manager, current, ts.ns_to_ps())
+
+
+def preimage_monolithic(
+    ts: TransitionSystem, states: int, relation: int
+) -> int:
+    """``∃ ns, free . states(ns) & T(ps, free, ns)`` — backward step
+    (used by tests to cross-check forward reachability)."""
+    manager = ts.manager
+    states_ns = rename(
+        manager, states, {ps: ns for ns, ps in ts.ns_to_ps().items()}
+    )
+    return _quantify.and_exists(
+        manager, states_ns, relation, ts.ns_vars() + ts.free_vars()
+    )

@@ -1,0 +1,202 @@
+"""Inductive invariants as an alternative unreachable-state source.
+
+The paper (Section 3.5.1) contrasts its partitioned exact traversal with
+approaches that *approximate* unreachable states by induction, citing
+Case, Mishchenko and Brayton's cut-based inductive invariant computation
+[7].  This module implements that alternative:
+
+1. propose candidate invariants from bit-parallel random simulation —
+   constant latches, equivalent latch pairs and antivalent latch pairs;
+2. filter the candidate set by 1-step induction (simultaneously, so the
+   surviving set is a genuine inductive invariant): a candidate survives
+   iff it holds in the initial state and is re-established by every
+   transition from any state satisfying *all* surviving candidates;
+3. conjoin the survivors into a state predicate whose complement is a
+   sound under-approximation of the unreachable states.
+
+Because the invariant is inductive, every reachable state satisfies it —
+so using its complement as a don't-care set is sound even though no
+fixpoint traversal was performed.  It is typically much weaker than exact
+reachability but nearly free on designs where traversal is expensive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.bdd.manager import BDDManager, TRUE
+from repro.bdd import quantify as _quantify
+from repro.network.netlist import Network
+from repro.network.simulate import random_simulation
+from repro.reach.transition import TransitionSystem
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate invariant over one or two latches.
+
+    ``kind`` is ``"const"`` (latch == value), ``"equiv"`` (two latches
+    equal) or ``"antiv"`` (two latches complementary).
+    """
+
+    kind: str
+    latch_a: str
+    latch_b: Optional[str] = None
+    value: bool = False
+
+    def describe(self) -> str:
+        if self.kind == "const":
+            return f"{self.latch_a} == {int(self.value)}"
+        if self.kind == "equiv":
+            return f"{self.latch_a} == {self.latch_b}"
+        return f"{self.latch_a} == ~{self.latch_b}"
+
+
+def propose_candidates(
+    network: Network,
+    cycles: int = 24,
+    width: int = 64,
+    seed: int = 0,
+) -> list[Candidate]:
+    """Candidate invariants that random simulation could not refute."""
+    latches = list(network.latches)
+    if not latches:
+        return []
+    frames = random_simulation(network, cycles, width=width, seed=seed)
+    mask = (1 << width) - 1
+    # Collect the observed latch values across all frames (including the
+    # initial state, cycle 0 reads the init values).
+    observed: dict[str, list[int]] = {name: [] for name in latches}
+    for frame in frames:
+        for name in latches:
+            observed[name].append(frame[name] & mask)
+    candidates: list[Candidate] = []
+    for name in latches:
+        values = observed[name]
+        if all(v == 0 for v in values):
+            candidates.append(Candidate("const", name, value=False))
+        elif all(v == mask for v in values):
+            candidates.append(Candidate("const", name, value=True))
+    for i, a in enumerate(latches):
+        for b in latches[i + 1 :]:
+            if all(va == vb for va, vb in zip(observed[a], observed[b])):
+                candidates.append(Candidate("equiv", a, b))
+            elif all(
+                va == (~vb & mask) for va, vb in zip(observed[a], observed[b])
+            ):
+                candidates.append(Candidate("antiv", a, b))
+    return candidates
+
+
+class InductiveInvariant:
+    """A 1-inductive invariant over a network's latches."""
+
+    def __init__(
+        self,
+        network: Network,
+        candidates: Optional[Sequence[Candidate]] = None,
+        simulation_cycles: int = 24,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        if candidates is None:
+            candidates = propose_candidates(
+                network, cycles=simulation_cycles, seed=seed
+            )
+        self.ts = TransitionSystem(network)
+        self.survivors = self._filter_by_induction(list(candidates))
+
+    # -- induction filtering --------------------------------------------
+
+    def _candidate_bdd(self, candidate: Candidate, next_state: bool) -> int:
+        manager = self.ts.manager
+        if next_state:
+            literal_a = self.ts.next_functions[candidate.latch_a]
+            literal_b = (
+                self.ts.next_functions[candidate.latch_b]
+                if candidate.latch_b
+                else None
+            )
+        else:
+            literal_a = manager.var(self.ts.ps_var[candidate.latch_a])
+            literal_b = (
+                manager.var(self.ts.ps_var[candidate.latch_b])
+                if candidate.latch_b
+                else None
+            )
+        if candidate.kind == "const":
+            return literal_a if candidate.value else manager.negate(literal_a)
+        if candidate.kind == "equiv":
+            return manager.apply_xnor(literal_a, literal_b)
+        return manager.apply_xor(literal_a, literal_b)
+
+    def _filter_by_induction(self, candidates: list[Candidate]) -> list[Candidate]:
+        manager = self.ts.manager
+        init = self.ts.initial_states()
+        # Base case first.
+        candidates = [
+            c
+            for c in candidates
+            if manager.leq(init, self._candidate_bdd(c, next_state=False))
+        ]
+        # Inductive step, iterated to a fixpoint: dropping one candidate
+        # weakens the assumption, so others may fall too.
+        while True:
+            assumption = manager.conjoin(
+                self._candidate_bdd(c, next_state=False) for c in candidates
+            )
+            kept = []
+            for candidate in candidates:
+                consequent = self._candidate_bdd(candidate, next_state=True)
+                holds = (
+                    _quantify.forall(
+                        manager,
+                        manager.implies(assumption, consequent),
+                        list(range(manager.num_vars)),
+                    )
+                    == TRUE
+                )
+                if holds:
+                    kept.append(candidate)
+            if len(kept) == len(candidates):
+                return kept
+            candidates = kept
+
+    # -- results ----------------------------------------------------------
+
+    def invariant_bdd(self) -> int:
+        """The invariant as a predicate over this object's transition
+        system PS variables."""
+        return self.ts.manager.conjoin(
+            self._candidate_bdd(c, next_state=False) for c in self.survivors
+        )
+
+    def unreachable_for(
+        self, target: BDDManager, var_of: Mapping[str, int]
+    ) -> int:
+        """Under-approximate unreachable states as the invariant's
+        complement, transferred into the requesting manager (same
+        interface as :meth:`DontCareManager.unreachable_for`)."""
+        from repro.bdd.compose import transfer
+
+        mapping = {
+            self.ts.ps_var[name]: var
+            for name, var in var_of.items()
+            if name in self.ts.ps_var
+        }
+        relevant = [
+            c
+            for c in self.survivors
+            if c.latch_a in var_of and (c.latch_b is None or c.latch_b in var_of)
+        ]
+        invariant = self.ts.manager.conjoin(
+            self._candidate_bdd(c, next_state=False) for c in relevant
+        )
+        moved = transfer(self.ts.manager, invariant, target, mapping)
+        return target.negate(moved)
+
+    def describe(self) -> list[str]:
+        """Human-readable invariant conjuncts."""
+        return [c.describe() for c in self.survivors]

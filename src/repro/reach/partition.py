@@ -1,0 +1,126 @@
+"""Latch partition selection (Section 3.5.1).
+
+The paper forms *overlapping* register subsets using the structural
+dependence of next-state and primary-output logic on the design latches,
+with two goals: (1) for every function ``f``, its present-state support
+``supp_ps(f)`` appears whole in at least one partition; (2) each
+partition adds further structurally-connected latches (up to the size
+cap) to sharpen the reachability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.network.netlist import Network
+
+
+@dataclass
+class LatchPartition:
+    """One overlapping latch subset."""
+
+    latches: tuple[str, ...]
+    #: The sink signals whose supp_ps this partition covers.
+    covered_signals: list[str] = field(default_factory=list)
+
+    def __contains__(self, latch: str) -> bool:
+        return latch in self._latch_set
+
+    @property
+    def _latch_set(self) -> frozenset[str]:
+        return frozenset(self.latches)
+
+
+def signal_ps_supports(network: Network) -> dict[str, set[str]]:
+    """``supp_ps`` for every combinational sink (primary-output signal
+    and latch data input)."""
+    return {
+        signal: network.latch_support(signal)
+        for signal in network.combinational_sinks()
+    }
+
+
+def select_latch_partitions(
+    network: Network,
+    max_size: int = 100,
+    min_fill: bool = True,
+) -> list[LatchPartition]:
+    """Greedy first-fit-decreasing construction of overlapping latch
+    partitions.
+
+    Signals are processed by decreasing ``|supp_ps|``; each support is
+    placed into the partition it overlaps most (if the union still fits
+    in ``max_size``), otherwise it opens a new partition.  Supports
+    larger than ``max_size`` are truncated to their first ``max_size``
+    latches — the reachable set for the rest is approximated as "all
+    states", keeping don't cares sound.  With ``min_fill`` partitions are
+    then topped up with structurally adjacent latches (latches feeding
+    the next-state cones of partition members) to improve accuracy, as
+    the paper's second selection goal prescribes.
+    """
+    supports = signal_ps_supports(network)
+    ordered = sorted(
+        supports.items(), key=lambda item: (-len(item[1]), item[0])
+    )
+    bins: list[tuple[set[str], list[str]]] = []
+    for signal, support in ordered:
+        if not support:
+            continue
+        if len(support) > max_size:
+            support = set(sorted(support)[:max_size])
+        best_index = -1
+        best_overlap = -1
+        for index, (latches, _) in enumerate(bins):
+            if len(latches | support) > max_size:
+                continue
+            overlap = len(latches & support)
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best_index = index
+        if best_index < 0:
+            bins.append((set(support), [signal]))
+        else:
+            bins[best_index][0].update(support)
+            bins[best_index][1].append(signal)
+    if min_fill:
+        for latches, _ in bins:
+            _fill_with_neighbours(network, latches, max_size)
+    return [
+        LatchPartition(tuple(sorted(latches)), signals)
+        for latches, signals in bins
+    ]
+
+
+def _fill_with_neighbours(
+    network: Network, latches: set[str], max_size: int
+) -> None:
+    """Grow a partition with the latches feeding its members' next-state
+    cones (one structural step), most-connected first."""
+    if len(latches) >= max_size:
+        return
+    candidates: dict[str, int] = {}
+    for latch in list(latches):
+        data_in = network.latches[latch].data_in
+        for neighbour in network.latch_support(data_in):
+            if neighbour not in latches:
+                candidates[neighbour] = candidates.get(neighbour, 0) + 1
+    for neighbour, _ in sorted(
+        candidates.items(), key=lambda item: (-item[1], item[0])
+    ):
+        if len(latches) >= max_size:
+            break
+        latches.add(neighbour)
+
+
+def partitions_for_support(
+    partitions: Sequence[LatchPartition], ps_support: set[str]
+) -> list[int]:
+    """Indices of partitions that intersect a signal's present-state
+    support (the partitions whose reachability information constrains
+    the signal's don't cares)."""
+    return [
+        index
+        for index, partition in enumerate(partitions)
+        if ps_support & set(partition.latches)
+    ]

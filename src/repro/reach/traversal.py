@@ -1,0 +1,143 @@
+"""Forward reachability fixpoints (Section 3.5.1 state-space
+exploration)."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bdd import count as _count
+from repro.bdd.manager import FALSE
+from repro.reach.image import image_early, image_monolithic
+from repro.reach.transition import TransitionSystem
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of a traversal: the reached-state set over PS variables
+    plus run statistics."""
+
+    ts: TransitionSystem
+    reached: int
+    iterations: int
+    converged: bool
+    runtime: float
+
+    def num_states(self) -> int:
+        """Number of reached states (over this subsystem's latches).
+
+        The reached set only mentions PS variables, so the manager-wide
+        satisfying count is scaled down by the non-state variables.
+        """
+        total_vars = self.ts.manager.num_vars
+        full = _count.sat_count(self.ts.manager, self.reached, total_vars)
+        return full // (1 << (total_vars - self.ts.num_state_bits()))
+
+    def _count_states(self) -> int:
+        return self.num_states()
+
+    def log2_states(self) -> float:
+        """``log2`` of the reached-state count — the Table 3.1 column."""
+        count = self._count_states()
+        return math.log2(count) if count else float("-inf")
+
+    def unreachable(self) -> int:
+        """Complement of the reached set (exact for a converged run on
+        the full latch set; an under-approximation of the unreachable
+        states otherwise)."""
+        return self.ts.manager.negate(self.reached)
+
+
+def forward_reachable(
+    ts: TransitionSystem,
+    strategy: str = "early",
+    max_iterations: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> ReachabilityResult:
+    """Least fixpoint of the image operator from the initial states.
+
+    ``strategy`` is ``"early"`` (partitioned relation, early
+    quantification) or ``"monolithic"``.  If ``max_iterations`` or
+    ``time_budget`` stops the run early the result is marked
+    unconverged — its complement is still a sound unreachable-state
+    under-approximation *only* when treated per-partition (the reached
+    set is an over-approximation of what is reachable in bounded steps
+    but an under-approximation of nothing); callers therefore widen an
+    unconverged reached set to TRUE-equivalent semantics by checking
+    ``converged``.
+    """
+    manager = ts.manager
+    start = time.perf_counter()
+    if strategy == "monolithic":
+        relation = ts.monolithic_relation()
+        step = lambda frontier: image_monolithic(ts, frontier, relation)
+    elif strategy == "early":
+        parts = ts.part_relations()
+        step = lambda frontier: image_early(ts, frontier, parts)
+    else:
+        raise ValueError(f"unknown image strategy {strategy!r}")
+    reached = ts.initial_states()
+    frontier = reached
+    iterations = 0
+    converged = True
+    while frontier != FALSE:
+        if max_iterations is not None and iterations >= max_iterations:
+            converged = False
+            break
+        if (
+            time_budget is not None
+            and time.perf_counter() - start > time_budget
+        ):
+            converged = False
+            break
+        next_states = step(frontier)
+        frontier = manager.apply_and(next_states, manager.negate(reached))
+        reached = manager.apply_or(reached, frontier)
+        iterations += 1
+    return ReachabilityResult(
+        ts=ts,
+        reached=reached,
+        iterations=iterations,
+        converged=converged,
+        runtime=time.perf_counter() - start,
+    )
+
+
+def explicit_reachable_states(network, latches=None, max_states: int = 1 << 20) -> set[tuple[bool, ...]]:
+    """Explicit-state BFS oracle for tests: enumerate reachable latch
+    valuations by simulating all input combinations breadth-first.
+
+    Exponential in inputs and states; only for small circuits.
+    """
+    from repro.network.simulate import evaluate_combinational
+
+    latches = list(latches if latches is not None else network.latches)
+    initial = tuple(network.latches[l].init for l in latches)
+    num_inputs = len(network.inputs)
+    seen = {initial}
+    queue = [initial]
+    while queue:
+        state = queue.pop()
+        for input_bits in range(1 << num_inputs):
+            sources = {
+                name: (1 if (input_bits >> i) & 1 else 0)
+                for i, name in enumerate(network.inputs)
+            }
+            for latch_name, value in zip(latches, state):
+                sources[latch_name] = 1 if value else 0
+            # Latches outside the tracked subset take both values: the
+            # oracle only supports full-latch-set usage, enforced here.
+            if set(latches) != set(network.latches):
+                raise ValueError("explicit oracle needs the full latch set")
+            values = evaluate_combinational(network, sources, 1)
+            successor = tuple(
+                bool(values[network.latches[l].data_in]) for l in latches
+            )
+            if successor not in seen:
+                if len(seen) >= max_states:
+                    raise RuntimeError("state explosion in explicit oracle")
+                seen.add(successor)
+                queue.append(successor)
+    return seen

@@ -1,0 +1,7 @@
+"""CDCL SAT solver and CNF encodings (substrate for the [14]-style
+SAT-based bi-decomposition baseline)."""
+
+from repro.sat.solver import Solver
+from repro.sat.cnf import CnfBuilder, encode_cone, encode_bdd
+
+__all__ = ["Solver", "CnfBuilder", "encode_cone", "encode_bdd"]

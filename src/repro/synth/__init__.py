@@ -1,0 +1,30 @@
+"""Sequential synthesis: Algorithm 1, sharing-aware choice selection and
+the Table 3.1 decomposability evaluation."""
+
+from repro.synth.algorithm1 import (
+    SynthesisOptions,
+    SynthesisReport,
+    SignalRecord,
+    algorithm1,
+)
+from repro.synth.sharing import decompose_with_sharing, estimated_arrival
+from repro.synth.resynthesis import ResynthesisReport, resynthesis_loop
+from repro.synth.evaluate import (
+    SignalOutcome,
+    DecomposabilityReport,
+    evaluate_decomposability,
+)
+
+__all__ = [
+    "SynthesisOptions",
+    "SynthesisReport",
+    "SignalRecord",
+    "algorithm1",
+    "decompose_with_sharing",
+    "estimated_arrival",
+    "ResynthesisReport",
+    "resynthesis_loop",
+    "SignalOutcome",
+    "DecomposabilityReport",
+    "evaluate_decomposability",
+]

@@ -1,0 +1,73 @@
+"""Re-synthesis loop (the paper's stated direction of future work).
+
+Section 3.7: "We are currently working on ways to further maximize logic
+sharing through bi-decomposition and to apply it in a re-synthesis loop
+of well-optimized designs."  This module implements that loop: Algorithm
+1 is re-applied to its own output — with sharing-aware partition choice —
+until the literal count stops improving (or a round budget runs out).
+Each round's input is already "well-optimized" by the previous one, so
+gains taper quickly; the loop keeps the best network seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.netlist import Network
+from repro.synth.algorithm1 import SynthesisOptions, SynthesisReport, algorithm1
+
+
+@dataclass
+class ResynthesisReport:
+    """Outcome of a re-synthesis run."""
+
+    network: Network
+    #: Literal counts entering each round (index 0 = original).
+    literal_trajectory: list[int] = field(default_factory=list)
+    rounds: list[SynthesisReport] = field(default_factory=list)
+
+    def total_reduction(self) -> float:
+        """Final/initial literal ratio (1.0 = no gain)."""
+        if not self.literal_trajectory or self.literal_trajectory[0] == 0:
+            return 1.0
+        return self.literal_trajectory[-1] / self.literal_trajectory[0]
+
+
+def resynthesis_loop(
+    network: Network,
+    options: Optional[SynthesisOptions] = None,
+    max_rounds: int = 4,
+) -> ResynthesisReport:
+    """Iterate Algorithm 1 to a literal-count fixpoint.
+
+    The first round uses the caller's options as given; later rounds
+    force sharing-aware partition choice (the mechanism the paper points
+    to for squeezing already-optimised logic) and disable latch
+    pre-processing (a no-op after round one).
+    """
+    if options is None:
+        options = SynthesisOptions()
+    best = network
+    best_literals = network.literal_count()
+    trajectory = [best_literals]
+    reports: list[SynthesisReport] = []
+    current = network
+    for round_index in range(max_rounds):
+        round_options = SynthesisOptions(**vars(options))
+        if round_index > 0:
+            round_options.sharing_choice = True
+            round_options.preprocess_latches = False
+        report = algorithm1(current, round_options)
+        reports.append(report)
+        literals = report.network.literal_count()
+        trajectory.append(literals)
+        if literals < best_literals:
+            best = report.network
+            best_literals = literals
+        if literals >= trajectory[-2]:
+            break
+        current = report.network
+    return ResynthesisReport(
+        network=best, literal_trajectory=trajectory, rounds=reports
+    )

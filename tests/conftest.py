@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.logic.truthtable import TruthTable
+
+
+@pytest.fixture
+def manager4() -> BDDManager:
+    """A manager with four variables x0..x3."""
+    return BDDManager(4)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def random_bdd(manager: BDDManager, num_vars: int, rng: random.Random) -> tuple[int, TruthTable]:
+    """A random function as both a BDD node and its truth-table oracle."""
+    table = TruthTable.random(num_vars, rng)
+    node = table.to_bdd(manager, list(range(num_vars)))
+    return node, table
+
+
+def tt_of(manager: BDDManager, node: int, num_vars: int) -> TruthTable:
+    """Tabulate a node over variables 0..num_vars-1."""
+    return TruthTable.from_bdd(manager, node, list(range(num_vars)))

@@ -1,0 +1,108 @@
+"""Tests for composition, renaming and cross-manager transfer."""
+
+from repro.bdd import BDDManager, compose, vector_compose, rename, transfer
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd, tt_of
+
+
+class TestCompose:
+    def test_compose_with_constant(self, rng):
+        m = BDDManager(4)
+        node, table = random_bdd(m, 4, rng)
+        from repro.bdd.manager import FALSE, TRUE
+
+        assert compose(m, node, 1, TRUE) == m.cofactor(node, 1, True)
+        assert compose(m, node, 1, FALSE) == m.cofactor(node, 1, False)
+
+    def test_compose_with_variable_is_rename(self, rng):
+        m = BDDManager(5)
+        node, _ = random_bdd(m, 4, rng)
+        composed = compose(m, node, 0, m.var(4))
+        renamed = rename(m, node, {0: 4})
+        assert composed == renamed
+
+    def test_compose_against_oracle(self, rng):
+        m = BDDManager(4)
+        for _ in range(20):
+            f, f_tt = random_bdd(m, 4, rng)
+            g, g_tt = random_bdd(m, 4, rng)
+            composed = compose(m, f, 2, g)
+            expected = TruthTable.from_function(
+                lambda a, b, c, d: f_tt.evaluate(
+                    [a, b, g_tt.evaluate([a, b, c, d]), d]
+                ),
+                4,
+            )
+            assert tt_of(m, composed, 4) == expected
+
+    def test_vector_compose_simultaneous(self):
+        """Swapping two variables must be simultaneous, not sequential."""
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        f = m.apply_and(x, m.negate(y))  # x & ~y
+        swapped = vector_compose(m, f, {0: y, 1: x})
+        expected = m.apply_and(y, m.negate(x))
+        assert swapped == expected
+
+    def test_vector_compose_empty(self, rng):
+        m = BDDManager(3)
+        node, _ = random_bdd(m, 3, rng)
+        assert vector_compose(m, node, {}) == node
+
+
+class TestRename:
+    def test_rename_roundtrip(self, rng):
+        m = BDDManager(8)
+        node, _ = random_bdd(m, 4, rng)
+        moved = rename(m, node, {0: 4, 1: 5, 2: 6, 3: 7})
+        back = rename(m, moved, {4: 0, 5: 1, 6: 2, 7: 3})
+        assert back == node
+
+    def test_rename_preserves_semantics(self, rng):
+        m = BDDManager(8)
+        node, table = random_bdd(m, 4, rng)
+        moved = rename(m, node, {i: i + 4 for i in range(4)})
+        assert TruthTable.from_bdd(m, moved, [4, 5, 6, 7]) == table
+
+
+class TestTransfer:
+    def test_transfer_identity(self, rng):
+        src = BDDManager(4)
+        node, table = random_bdd(src, 4, rng)
+        dst = BDDManager(4)
+        moved = transfer(src, node, dst)
+        assert TruthTable.from_bdd(dst, moved, [0, 1, 2, 3]) == table
+
+    def test_transfer_with_reorder(self, rng):
+        """Transferring under a variable permutation re-orders the
+        diagram without changing the function."""
+        src = BDDManager(4)
+        node, table = random_bdd(src, 4, rng)
+        dst = BDDManager(4)
+        var_map = {0: 3, 1: 2, 2: 1, 3: 0}
+        moved = transfer(src, node, dst, var_map)
+        relabeled = TruthTable.from_bdd(dst, moved, [3, 2, 1, 0])
+        assert relabeled == table
+
+    def test_transfer_terminals(self):
+        from repro.bdd.manager import FALSE, TRUE
+
+        src, dst = BDDManager(1), BDDManager(1)
+        assert transfer(src, TRUE, dst) == TRUE
+        assert transfer(src, FALSE, dst) == FALSE
+
+    def test_transfer_can_shrink_bdd(self):
+        """A function with a bad order shrinks when transferred into an
+        interleaved order (the reordering mechanism of the package)."""
+        from repro.bdd import dag_size
+
+        src = BDDManager(6)
+        # f = x0&x3 | x1&x4 | x2&x5 — classic order-sensitive function.
+        f = src.disjoin(
+            src.apply_and(src.var(i), src.var(i + 3)) for i in range(3)
+        )
+        dst = BDDManager(6)
+        var_map = {0: 0, 3: 1, 1: 2, 4: 3, 2: 4, 5: 5}
+        moved = transfer(src, f, dst, var_map)
+        assert dag_size(dst, moved) < dag_size(src, f)

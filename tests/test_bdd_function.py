@@ -1,0 +1,118 @@
+"""Tests for the operator-overloaded Function facade and dot export."""
+
+import pytest
+
+from repro.bdd import BDDManager, Function, to_dot
+
+
+class TestFunctionOperators:
+    def test_basic_algebra(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        f = (x & y) | (~x & ~y)
+        g = ~(x ^ y)
+        assert f == g
+
+    def test_constants(self):
+        m = BDDManager()
+        x, = m.function_vars("x")
+        assert (x | ~x).is_tautology()
+        assert (x & ~x).is_contradiction()
+        assert (x & True) == x
+        assert (x | False) == x
+
+    def test_leq_relation(self):
+        """The paper's Section 3.2.1 relation: f <= g iff ~f + g == 1."""
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        assert (x & y) <= x
+        assert not (x <= (x & y))
+        assert x <= (x | y)
+
+    def test_ite(self):
+        m = BDDManager()
+        s, a, b = m.function_vars("s", "a", "b")
+        mux = s.ite(a, b)
+        assert mux.restrict({m.var_index("s"): True}) == a
+        assert mux.restrict({m.var_index("s"): False}) == b
+
+    def test_bool_raises(self):
+        m = BDDManager()
+        x, = m.function_vars("x")
+        with pytest.raises(TypeError):
+            bool(x)
+
+    def test_cross_manager_rejected(self):
+        m1, m2 = BDDManager(), BDDManager()
+        x, = m1.function_vars("x")
+        y, = m2.function_vars("y")
+        with pytest.raises(ValueError):
+            _ = x & y
+
+    def test_type_error_on_junk(self):
+        m = BDDManager()
+        x, = m.function_vars("x")
+        with pytest.raises(TypeError):
+            _ = x & "nope"
+
+
+class TestFunctionInspection:
+    def test_support_names(self):
+        m = BDDManager()
+        a, b, c = m.function_vars("a", "b", "c")
+        f = a & b | (c & ~c)  # c cancels out
+        assert f.support_names() == {"a", "b"}
+
+    def test_quantification(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        f = x & y
+        assert f.exists([x]) == y
+        assert f.forall([x]).is_contradiction()
+
+    def test_exists_rejects_non_literal(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        with pytest.raises(ValueError):
+            (x & y).exists([x & y])
+
+    def test_counting(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        assert (x | y).sat_count(2) == 3
+        assert (x | y).dag_size() >= 3
+
+    def test_evaluate(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        f = x ^ y
+        assert f.evaluate([True, False])
+        assert not f.evaluate([True, True])
+
+    def test_manager_true_false(self):
+        m = BDDManager()
+        assert m.true.is_tautology()
+        assert m.false.is_contradiction()
+
+    def test_hash_and_set(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        collection = {x & y, y & x, x | y}
+        assert len(collection) == 2
+
+
+class TestDot:
+    def test_dot_structure(self):
+        m = BDDManager()
+        x, y = m.function_vars("x", "y")
+        text = to_dot(m, (x & y).node)
+        assert text.startswith("digraph")
+        assert '"x"' in text and '"y"' in text
+        assert '[shape=box, label="1"]' in text
+
+    def test_dot_terminal_only(self):
+        from repro.bdd.manager import TRUE
+
+        m = BDDManager()
+        text = to_dot(m, TRUE)
+        assert "n1" in text

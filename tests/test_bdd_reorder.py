@@ -1,0 +1,77 @@
+"""Tests for rebuild-based variable reordering."""
+
+from repro.bdd import BDDManager, dag_size, dag_size_multi, transfer
+from repro.bdd.reorder import order_cost, reorder, sift_order
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd
+
+
+def interleaving_victim(manager):
+    """f = x0&x3 | x1&x4 | x2&x5: quadratic under the natural order,
+    linear when pairs are adjacent."""
+    return manager.disjoin(
+        manager.apply_and(manager.var(i), manager.var(i + 3)) for i in range(3)
+    )
+
+
+class TestOrderCost:
+    def test_identity_order_matches_current(self, rng):
+        m = BDDManager(4)
+        node, _ = random_bdd(m, 4, rng)
+        assert order_cost(m, [node], [0, 1, 2, 3]) == dag_size(m, node)
+
+    def test_known_good_order_cheaper(self):
+        m = BDDManager(6)
+        f = interleaving_victim(m)
+        natural = order_cost(m, [f], [0, 1, 2, 3, 4, 5])
+        interleaved = order_cost(m, [f], [0, 3, 1, 4, 2, 5])
+        assert interleaved < natural
+
+
+class TestSift:
+    def test_sifting_improves_victim(self):
+        m = BDDManager(6)
+        f = interleaving_victim(m)
+        order = sift_order(m, [f])
+        assert order_cost(m, [f], order) < dag_size(m, f)
+
+    def test_sifting_never_worse(self, rng):
+        m = BDDManager(5)
+        for _ in range(5):
+            node, _ = random_bdd(m, 5, rng)
+            order = sift_order(m, [node], max_rounds=1)
+            assert order_cost(m, [node], order) <= dag_size(m, node)
+
+    def test_order_is_permutation(self, rng):
+        m = BDDManager(5)
+        node, _ = random_bdd(m, 5, rng)
+        order = sift_order(m, [node], max_rounds=1)
+        assert sorted(order) == list(range(5))
+
+
+class TestReorder:
+    def test_semantics_preserved(self, rng):
+        m = BDDManager(5)
+        node, table = random_bdd(m, 5, rng)
+        target, moved, var_map = reorder(m, [node], max_rounds=1)
+        relabeled = TruthTable.from_bdd(
+            target, moved[0], [var_map[v] for v in range(5)]
+        )
+        assert relabeled == table
+
+    def test_names_carried(self):
+        m = BDDManager()
+        for name in ("alpha", "beta", "gamma"):
+            m.new_var(name)
+        f = m.apply_and(m.var(0), m.var(2))
+        target, moved, var_map = reorder(m, [f])
+        for old, name in enumerate(("alpha", "beta", "gamma")):
+            assert target.var_name(var_map[old]) == name
+
+    def test_multi_root_sharing(self, rng):
+        m = BDDManager(6)
+        f = interleaving_victim(m)
+        g = m.negate(f)
+        target, moved, _ = reorder(m, [f, g], max_rounds=1)
+        assert dag_size_multi(target, moved) <= dag_size_multi(m, [f, g])

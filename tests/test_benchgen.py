@@ -1,0 +1,210 @@
+"""Tests for workload generators (multiplexers, adders, FSM blocks,
+circuit analogs)."""
+
+import pytest
+
+from repro.bdd import BDDManager, sat_count, support
+from repro.benchgen import (
+    ISCAS_SPECS,
+    MACRO_SPECS,
+    adder_sum_bit,
+    generate_sequential_circuit,
+    industrial_analog,
+    iscas_analog,
+    multiplexer_function,
+    multiplexer_network,
+    ripple_adder_network,
+)
+from repro.network import ConeCollapser, evaluate_combinational, outputs_equal
+
+
+class TestMultiplexer:
+    def test_function_semantics(self):
+        m = BDDManager()
+        f, ctrl, data = multiplexer_function(m, 2)
+        for select in range(4):
+            for pattern in range(16):
+                assignment = {}
+                for i, c in enumerate(ctrl):
+                    assignment[c] = bool((select >> i) & 1)
+                for i, d in enumerate(data):
+                    assignment[d] = bool((pattern >> i) & 1)
+                expected = bool((pattern >> select) & 1)
+                assert m.evaluate(f, assignment) == expected
+
+    def test_network_matches_function(self):
+        net = multiplexer_network(2)
+        m = BDDManager()
+        f, ctrl, data = multiplexer_function(m, 2)
+        collapser = ConeCollapser(net)
+        g = collapser.node_function("y")
+        # Compare by exhaustive simulation.
+        for select in range(4):
+            for pattern in range(16):
+                frame = {f"s{i}": (select >> i) & 1 for i in range(2)}
+                frame.update({f"d{i}": (pattern >> i) & 1 for i in range(4)})
+                got = evaluate_combinational(net, frame, 1)["y"]
+                assert bool(got) == bool((pattern >> select) & 1)
+
+    def test_support_size(self):
+        m = BDDManager()
+        f, ctrl, data = multiplexer_function(m, 3)
+        assert support(m, f) == set(ctrl) | set(data)
+
+
+class TestAdder:
+    def test_sum_bit_semantics(self):
+        m = BDDManager()
+        f, variables = adder_sum_bit(m, 2)
+        assert len(variables) == 7
+        # Exhaustive: s2 of (a + b + cin).
+        for a in range(8):
+            for b in range(8):
+                for cin in range(2):
+                    total = a + b + cin
+                    assignment = {variables[0]: bool(cin)}
+                    for i in range(3):
+                        assignment[variables[1 + 2 * i]] = bool((a >> i) & 1)
+                        assignment[variables[2 + 2 * i]] = bool((b >> i) & 1)
+                    assert m.evaluate(f, assignment) == bool((total >> 2) & 1)
+
+    def test_sum_bit_linear_bdd(self):
+        from repro.bdd import dag_size
+
+        m = BDDManager()
+        f, variables = adder_sum_bit(m, 10)
+        assert dag_size(m, f) < 10 * len(variables)
+
+    def test_network_adds(self):
+        net = ripple_adder_network(4)
+        for a in range(16):
+            for b in range(16):
+                frame = {f"a{i}": (a >> i) & 1 for i in range(4)}
+                frame.update({f"b{i}": (b >> i) & 1 for i in range(4)})
+                frame["cin"] = 0
+                values = evaluate_combinational(net, frame, 1)
+                total = sum(
+                    values[f"s{i}"] << i for i in range(4)
+                ) + (values["cout"] << 4)
+                assert total == a + b
+
+    def test_network_without_cin(self):
+        net = ripple_adder_network(3, with_carry_in=False)
+        frame = {f"a{i}": 1 for i in range(3)}
+        frame.update({f"b{i}": 1 for i in range(3)})
+        values = evaluate_combinational(net, frame, 1)
+        total = sum(values[f"s{i}"] << i for i in range(3)) + (
+            values["cout"] << 3
+        )
+        assert total == 7 + 7
+
+
+class TestFsmBlocks:
+    def test_mod_counter_reachable_states(self):
+        from repro.network import Network
+        from repro.reach import TransitionSystem, forward_reachable
+        from repro.benchgen.fsm import add_mod_counter
+
+        net = Network("c")
+        en = net.add_input("en")
+        add_mod_counter(net, "k_", 3, 5, en)
+        net.add_output("k_q0")
+        result = forward_reachable(TransitionSystem(net))
+        assert result.num_states() == 5
+
+    def test_mod_counter_validates(self):
+        from repro.network import Network
+        from repro.benchgen.fsm import add_mod_counter
+
+        net = Network("c")
+        en = net.add_input("en")
+        with pytest.raises(ValueError):
+            add_mod_counter(net, "k_", 2, 5, en)
+
+    def test_onehot_ring_reachable_states(self):
+        from repro.network import Network
+        from repro.reach import TransitionSystem, forward_reachable
+        from repro.benchgen.fsm import add_onehot_ring
+
+        net = Network("r")
+        en = net.add_input("en")
+        add_onehot_ring(net, "r_", 4, en)
+        net.add_output("r_q0")
+        result = forward_reachable(TransitionSystem(net))
+        assert result.num_states() == 4
+
+    def test_shift_register_full_reachability(self):
+        from repro.network import Network
+        from repro.reach import TransitionSystem, forward_reachable
+        from repro.benchgen.fsm import add_shift_register
+
+        net = Network("s")
+        en = net.add_input("en")
+        d = net.add_input("d")
+        add_shift_register(net, "s_", 3, d, en)
+        net.add_output("s_q2")
+        result = forward_reachable(TransitionSystem(net))
+        assert result.num_states() == 8
+
+    def test_lfsr_zero_state_unreachable(self):
+        from repro.network import Network
+        from repro.reach import TransitionSystem, forward_reachable
+        from repro.benchgen.fsm import add_lfsr
+
+        net = Network("l")
+        en = net.add_input("en")
+        add_lfsr(net, "l_", 4, en)
+        net.add_output("l_q0")
+        result = forward_reachable(TransitionSystem(net))
+        assert result.num_states() < 16
+
+
+class TestAnalogs:
+    def test_iscas_interface_statistics(self):
+        for name, spec in ISCAS_SPECS.items():
+            net = iscas_analog(name)
+            assert len(net.inputs) == spec.inputs, name
+            assert len(net.outputs) == spec.outputs, name
+            assert len(net.latches) == spec.latches, name
+
+    def test_iscas_deterministic(self):
+        assert outputs_equal(iscas_analog("s344"), iscas_analog("s344"))
+
+    def test_iscas_scaled(self):
+        net = iscas_analog("s9234", latch_scale=0.1)
+        assert len(net.latches) == round(145 * 0.1)
+
+    def test_iscas_acyclic_and_driven(self):
+        net = iscas_analog("s526")
+        net.topological_order()  # raises on cycles / dangling fanins
+        for latch in net.latches.values():
+            assert net.is_signal(latch.data_in)
+
+    def test_industrial_interface(self):
+        net = industrial_analog("seq5", scale=0.3)
+        spec = MACRO_SPECS["seq5"]
+        assert len(net.inputs) == round(spec.inputs * 0.3)
+        assert len(net.latches) == round(spec.latches * 0.3)
+        net.topological_order()
+
+    def test_industrial_deterministic(self):
+        a = industrial_analog("seq6", scale=0.2)
+        b = industrial_analog("seq6", scale=0.2)
+        assert outputs_equal(a, b)
+
+    def test_generated_has_unreachable_states(self):
+        """Counter-heavy analogs must actually have unreachable states —
+        the premise of the whole experiment."""
+        from repro.reach import DontCareManager
+
+        net = iscas_analog("s838")
+        dcm = DontCareManager(net, max_partition_size=10)
+        assert dcm.approximate_log2_states() < len(net.latches) - 1
+
+    def test_generator_parameters(self):
+        net = generate_sequential_circuit(
+            "g", num_inputs=5, num_outputs=3, num_latches=9, seed=2
+        )
+        assert len(net.inputs) == 5
+        assert len(net.outputs) == 3
+        assert len(net.latches) == 9

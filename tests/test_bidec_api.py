@@ -1,0 +1,161 @@
+"""Tests for the high-level bi-decomposition API."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager, support
+from repro.bidec import (
+    and_bidecompose,
+    decompose_interval,
+    or_bidecompose,
+    xor_bidecompose,
+)
+from repro.intervals import Interval
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd
+
+
+class TestOrBidecompose:
+    def test_figure_3_1(self):
+        """Figure 3.1: f = ab+ac+bc with unreachable state a~bc as don't
+        care OR-decomposes into g1(a,b) + g2(b,c)."""
+        m = BDDManager(3)
+        a, b, c = m.var(0), m.var(1), m.var(2)
+        f = m.disjoin([m.apply_and(a, b), m.apply_and(a, c), m.apply_and(b, c)])
+        dc = m.cube({0: True, 1: False, 2: True})
+        interval = Interval.with_dont_cares(m, f, dc)
+        result = or_bidecompose(interval)
+        assert result is not None
+        assert result.verify()
+        assert result.max_support_size == 2
+        # The two supports are {a,b} and {b,c} in some order.
+        assert {frozenset(result.support1), frozenset(result.support2)} == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+        }
+
+    def test_figure_3_1_without_dc_infeasible(self):
+        """Without the unreachable-state don't care the majority function
+        has no non-trivial OR decomposition."""
+        m = BDDManager(3)
+        a, b, c = m.var(0), m.var(1), m.var(2)
+        f = m.disjoin([m.apply_and(a, b), m.apply_and(a, c), m.apply_and(b, c)])
+        assert or_bidecompose(Interval.exact(m, f)) is None
+
+    def test_disjoint_or(self):
+        m = BDDManager(4)
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))
+        )
+        result = or_bidecompose(Interval.exact(m, f))
+        assert result is not None and result.verify()
+        assert result.max_support_size == 2
+
+    def test_single_var_returns_none(self):
+        m = BDDManager(1)
+        assert or_bidecompose(Interval.exact(m, m.var(0))) is None
+
+    def test_verify_and_ratio(self, rng):
+        m = BDDManager(4)
+        for _ in range(15):
+            f, _ = random_bdd(m, 4, rng)
+            result = or_bidecompose(Interval.exact(m, f))
+            if result is None:
+                continue
+            assert result.verify()
+            assert 0 < result.reduction_ratio() < 1.0
+            assert result.is_nontrivial()
+
+
+class TestAndXor:
+    def test_and_of_ors(self):
+        m = BDDManager(4)
+        f = m.apply_and(
+            m.apply_or(m.var(0), m.var(1)), m.apply_or(m.var(2), m.var(3))
+        )
+        result = and_bidecompose(Interval.exact(m, f))
+        assert result is not None and result.verify()
+        assert result.gate == "and"
+        assert result.max_support_size == 2
+
+    def test_xor_chain(self):
+        m = BDDManager(4)
+        f = m.apply_xor(
+            m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))
+        )
+        result = xor_bidecompose(Interval.exact(m, f))
+        assert result is not None and result.verify()
+        assert result.gate == "xor"
+        assert result.max_support_size == 2
+
+
+class TestDecomposeInterval:
+    def test_prefers_smaller_max_support(self, rng):
+        m = BDDManager(4)
+        for _ in range(15):
+            f, _ = random_bdd(m, 4, rng)
+            interval = Interval.exact(m, f)
+            best = decompose_interval(interval)
+            if best is None:
+                continue
+            for single_gate in ("or", "and", "xor"):
+                one = decompose_interval(interval, gates=(single_gate,))
+                if one is not None:
+                    assert best.max_support_size <= one.max_support_size
+
+    def test_greedy_fallback_engages(self):
+        """Above max_support the greedy path is used and still verifies."""
+        m = BDDManager(8)
+        f = m.disjoin(
+            m.apply_and(m.var(2 * i), m.var(2 * i + 1)) for i in range(4)
+        )
+        result = decompose_interval(Interval.exact(m, f), max_support=4)
+        assert result is not None
+        assert result.verify()
+
+    def test_respects_gate_subset(self, rng):
+        m = BDDManager(3)
+        f, _ = random_bdd(m, 3, rng)
+        result = decompose_interval(Interval.exact(m, f), gates=("xor",))
+        if result is not None:
+            assert result.gate == "xor"
+
+    def test_none_for_constant(self):
+        from repro.bdd.manager import TRUE
+
+        m = BDDManager(2)
+        assert decompose_interval(Interval.exact(m, TRUE)) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bits_f=st.integers(min_value=0, max_value=(1 << 8) - 1),
+    bits_dc=st.integers(min_value=0, max_value=(1 << 8) - 1),
+)
+def test_property_decomposition_always_verifies(bits_f, bits_dc):
+    """Whatever decompose_interval returns is a member of the interval —
+    the soundness invariant of the whole pipeline."""
+    m = BDDManager(3)
+    f = TruthTable(bits_f, 3).to_bdd(m, [0, 1, 2])
+    dc = TruthTable(bits_dc, 3).to_bdd(m, [0, 1, 2])
+    interval = Interval.with_dont_cares(m, f, dc)
+    result = decompose_interval(interval)
+    if result is not None:
+        assert result.verify()
+        assert result.is_nontrivial()
+
+
+@settings(max_examples=30, deadline=None)
+@given(bits=st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_property_or_monotone_dc(bits):
+    """Adding don't cares never destroys OR-decomposability: if the exact
+    function decomposes, so does every widened interval."""
+    m = BDDManager(4)
+    f = TruthTable(bits, 4).to_bdd(m, [0, 1, 2, 3])
+    exact = or_bidecompose(Interval.exact(m, f))
+    if exact is None:
+        return
+    dc = m.cube({0: True, 1: True, 2: True, 3: True})
+    widened = or_bidecompose(Interval.with_dont_cares(m, f, dc))
+    assert widened is not None
+    assert widened.max_support_size <= exact.max_support_size

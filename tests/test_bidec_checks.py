@@ -1,0 +1,163 @@
+"""Tests for per-partition decomposability checks (Section 3.3), cross-
+validated against brute-force oracles."""
+
+import itertools
+
+from repro.bdd import BDDManager
+from repro.bidec.checks import (
+    and_decomposable,
+    is_trivial_partition,
+    or_decomposable,
+    xor_decomposable_cs,
+    xor_decomposable_explicit,
+    xor_decomposable_quantified,
+)
+from repro.intervals import Interval
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd
+
+
+def brute_force_or(interval, num_vars, support1, support2):
+    """Oracle: exists g1 over support1, g2 over support2 with
+    l <= g1|g2 <= u (checked by exhaustive enumeration of small
+    functions)."""
+    m = interval.manager
+
+    def functions_over(variables):
+        variables = sorted(variables)
+        k = len(variables)
+        for bits in range(1 << (1 << k)):
+            yield TruthTable(bits, k).to_bdd(m, variables)
+
+    for g1 in functions_over(support1):
+        for g2 in functions_over(support2):
+            if interval.contains(m.apply_or(g1, g2)):
+                return True
+    return False
+
+
+def brute_force_xor(interval, support1, support2):
+    m = interval.manager
+
+    def functions_over(variables):
+        variables = sorted(variables)
+        k = len(variables)
+        for bits in range(1 << (1 << k)):
+            yield TruthTable(bits, k).to_bdd(m, variables)
+
+    for g1 in functions_over(support1):
+        for g2 in functions_over(support2):
+            if interval.contains(m.apply_xor(g1, g2)):
+                return True
+    return False
+
+
+class TestOrCheck:
+    def test_known_or_decomposable(self):
+        m = BDDManager(4)
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))
+        )
+        interval = Interval.exact(m, f)
+        assert or_decomposable(interval, [2, 3], [0, 1])
+
+    def test_known_not_or_decomposable(self):
+        m = BDDManager(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        interval = Interval.exact(m, f)
+        assert not or_decomposable(interval, [0], [1])
+
+    def test_eq32_matches_bruteforce_exact(self, rng):
+        """Condition (3.2) is exact: cross-validate against enumeration
+        on random 3-variable intervals and all disjoint-ish partitions."""
+        m = BDDManager(3)
+        for _ in range(10):
+            f, _ = random_bdd(m, 3, rng)
+            dc, _ = random_bdd(m, 3, rng)
+            interval = Interval.with_dont_cares(m, f, dc)
+            for xbar1 in ([0], [1], [2], [0, 1]):
+                for xbar2 in ([0], [1], [2], [1, 2]):
+                    support1 = set(range(3)) - set(xbar1)
+                    support2 = set(range(3)) - set(xbar2)
+                    got = or_decomposable(interval, xbar1, xbar2)
+                    want = brute_force_or(interval, 3, support1, support2)
+                    assert got == want, (xbar1, xbar2)
+
+    def test_and_duality(self, rng):
+        """AND decomposability of [l,u] == OR decomposability of the
+        complemented function by De Morgan."""
+        m = BDDManager(4)
+        f = m.apply_and(
+            m.apply_or(m.var(0), m.var(1)), m.apply_or(m.var(2), m.var(3))
+        )
+        interval = Interval.exact(m, f)
+        assert and_decomposable(interval, [2, 3], [0, 1])
+        assert not and_decomposable(Interval.exact(m, m.apply_or(m.var(0), m.var(1))), [0], [1])
+
+
+class TestXorChecks:
+    def test_parity_decomposes_everywhere(self):
+        m = BDDManager(4)
+        parity = m.apply_xor(
+            m.apply_xor(m.var(0), m.var(1)), m.apply_xor(m.var(2), m.var(3))
+        )
+        assert xor_decomposable_cs(m, parity, [0, 1], [2, 3])
+        assert xor_decomposable_cs(m, parity, [0], [1])
+
+    def test_and_not_xor_decomposable(self):
+        m = BDDManager(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        assert not xor_decomposable_cs(m, f, [0], [1])
+
+    def test_cs_check_matches_bruteforce(self, rng):
+        m = BDDManager(3)
+        for _ in range(15):
+            f, _ = random_bdd(m, 3, rng)
+            interval = Interval.exact(m, f)
+            for x1, x2 in (([0], [1]), ([0], [2]), ([1], [2]), ([0, 1], [2])):
+                support1 = set(range(3)) - set(x2)
+                support2 = set(range(3)) - set(x1)
+                got = xor_decomposable_cs(m, f, x1, x2)
+                want = brute_force_xor(interval, support1, support2)
+                assert got == want, (x1, x2)
+
+    def test_three_checks_agree_on_cs(self, rng):
+        """Constructive, quantified and explicit checks agree on
+        completely specified functions."""
+        m = BDDManager(3)
+        for _ in range(10):
+            f, _ = random_bdd(m, 3, rng)
+            y_of = {}
+            m2 = BDDManager(3)
+            from repro.bdd.compose import transfer
+
+            f2 = transfer(m, f, m2)
+            y_of = {v: m2.new_var(f"y{v}") for v in range(3)}
+            for x1, x2 in (([0], [1]), ([0], [2]), ([1], [2])):
+                constructive = xor_decomposable_cs(m, f, x1, x2)
+                quantified = xor_decomposable_quantified(m2, f2, x1, x2, y_of)
+                explicit = xor_decomposable_explicit(m, f, x1, x2)
+                assert constructive == quantified == explicit, (x1, x2)
+
+    def test_explicit_check_deadline(self):
+        import time
+
+        m = BDDManager(12)
+        f, _ = random_bdd(m, 12, __import__("random").Random(1))
+        try:
+            xor_decomposable_explicit(
+                m, f, [0], list(range(1, 12)), deadline=time.perf_counter() - 1
+            )
+            assert False, "deadline should have fired"
+        except TimeoutError:
+            pass
+
+
+class TestTrivial:
+    def test_is_trivial_partition(self):
+        support = {0, 1, 2}
+        assert is_trivial_partition(support, [], [0])
+        assert is_trivial_partition(support, [0], [])
+        assert not is_trivial_partition(support, [0], [1])
+        assert is_trivial_partition(support, [5], [0])  # outside support

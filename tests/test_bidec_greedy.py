@@ -1,0 +1,122 @@
+"""Tests for greedy bi-decomposition baselines."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.bidec.checks import or_decomposable
+from repro.bidec.greedy import (
+    GreedyXorProfiler,
+    greedy_and_partition,
+    greedy_decompose,
+    greedy_or_partition,
+    greedy_xor_partition_fast,
+)
+from repro.intervals import Interval
+
+from conftest import random_bdd
+
+
+class TestGreedyOr:
+    def test_partition_feasible(self, rng):
+        m = BDDManager(5)
+        for _ in range(15):
+            f, _ = random_bdd(m, 5, rng)
+            interval = Interval.exact(m, f)
+            partition = greedy_or_partition(interval)
+            if partition is None:
+                continue
+            support1, support2 = partition
+            all_vars = interval.support()
+            assert or_decomposable(interval, all_vars - support1, all_vars - support2)
+            assert support1 < all_vars and support2 < all_vars
+
+    def test_disjoint_or_found(self):
+        m = BDDManager(6)
+        f = m.disjoin(m.apply_and(m.var(2 * i), m.var(2 * i + 1)) for i in range(3))
+        partition = greedy_or_partition(Interval.exact(m, f))
+        assert partition is not None
+        s1, s2 = partition
+        assert max(len(s1), len(s2)) <= 4
+
+    def test_and_variant(self):
+        m = BDDManager(4)
+        f = m.apply_and(
+            m.apply_or(m.var(0), m.var(1)), m.apply_or(m.var(2), m.var(3))
+        )
+        partition = greedy_and_partition(Interval.exact(m, f))
+        assert partition is not None
+
+
+class TestGreedyXorFast:
+    def test_parity(self):
+        m = BDDManager(6)
+        parity = m.var(0)
+        for i in range(1, 6):
+            parity = m.apply_xor(parity, m.var(i))
+        partition = greedy_xor_partition_fast(Interval.exact(m, parity))
+        assert partition is not None
+
+    def test_undecomposable_returns_none(self):
+        m = BDDManager(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        assert greedy_xor_partition_fast(Interval.exact(m, f)) is None
+
+
+class TestGreedyDecompose:
+    def test_verifies(self, rng):
+        m = BDDManager(6)
+        for _ in range(10):
+            f, _ = random_bdd(m, 5, rng)
+            dc, _ = random_bdd(m, 5, rng)
+            interval = Interval.with_dont_cares(m, f, dc)
+            result = greedy_decompose(interval)
+            if result is not None:
+                assert result.verify()
+                assert result.is_nontrivial()
+
+    def test_unknown_gate_rejected(self, rng):
+        m = BDDManager(3)
+        f, _ = random_bdd(m, 3, rng)
+        with pytest.raises(ValueError):
+            greedy_decompose(Interval.exact(m, f), gates=("nand",))
+
+
+class TestProfiler:
+    def test_adder_partition_shape(self):
+        """On sum bit s3 the greedy profiler finds the (2, n-2) split the
+        paper's table shows."""
+        from repro.benchgen import adder_sum_bit
+
+        m = BDDManager()
+        f, variables = adder_sum_bit(m, 3)
+        profiler = GreedyXorProfiler(m, f, time_budget=30)
+        partition = profiler.run()
+        assert partition is not None
+        sizes = sorted((len(partition[0]), len(partition[1])))
+        assert sizes == [2, len(variables) - 2]
+        assert profiler.checks_performed > 0
+
+    def test_timeout_raises(self):
+        from repro.benchgen import adder_sum_bit
+
+        m = BDDManager()
+        f, _ = adder_sum_bit(m, 10)
+        profiler = GreedyXorProfiler(m, f, time_budget=0.0)
+        with pytest.raises(TimeoutError):
+            profiler.run()
+
+    def test_quantified_method(self):
+        from repro.benchgen import adder_sum_bit
+
+        m = BDDManager()
+        f, variables = adder_sum_bit(m, 3)
+        profiler = GreedyXorProfiler(m, f, time_budget=30, check_method="quantified")
+        partition = profiler.run()
+        assert partition is not None
+        sizes = sorted((len(partition[0]), len(partition[1])))
+        assert sizes == [2, len(variables) - 2]
+
+    def test_bad_method_rejected(self):
+        m = BDDManager(2)
+        with pytest.raises(ValueError):
+            GreedyXorProfiler(m, m.var(0), check_method="magic")

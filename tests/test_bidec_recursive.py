@@ -1,0 +1,130 @@
+"""Tests for recursive bi-decomposition into primitive-gate trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.bidec.recursive import decompose_recursive
+from repro.intervals import Interval
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd
+
+
+class TestDecomposeRecursive:
+    def test_result_is_member(self, rng):
+        m = BDDManager(4)
+        for _ in range(20):
+            f, _ = random_bdd(m, 4, rng)
+            dc, _ = random_bdd(m, 4, rng)
+            interval = Interval.with_dont_cares(m, f, dc)
+            tree = decompose_recursive(interval)
+            assert interval.contains(tree.function)
+
+    def test_exact_function_preserved(self, rng):
+        m = BDDManager(4)
+        for _ in range(20):
+            f, _ = random_bdd(m, 4, rng)
+            tree = decompose_recursive(Interval.exact(m, f))
+            assert tree.function == f
+
+    def test_parity_becomes_xor_tree(self):
+        m = BDDManager(6)
+        parity = m.var(0)
+        for i in range(1, 6):
+            parity = m.apply_xor(parity, m.var(i))
+        tree = decompose_recursive(Interval.exact(m, parity))
+        assert tree.function == parity
+        # A 6-input parity should decompose into a genuine tree of XORs.
+        assert tree.op == "xor"
+        assert tree.num_gates() >= 2
+
+    def test_leaf_for_small_support(self):
+        m = BDDManager(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        tree = decompose_recursive(Interval.exact(m, f))
+        assert tree.op == "leaf"
+        assert tree.num_gates() == 0
+
+    def test_metrics_consistent(self, rng):
+        m = BDDManager(4)
+        f, _ = random_bdd(m, 4, rng)
+        tree = decompose_recursive(Interval.exact(m, f))
+        assert tree.num_leaves() == tree.num_gates() + 1 or tree.op == "leaf"
+        assert tree.depth() >= 1
+        assert tree.cost() >= tree.leaf_literals()
+
+    def test_redundant_inputs_eliminated(self):
+        """A function with a fake dependency loses it (Section 3.5.3
+        abstraction step)."""
+        m = BDDManager(3)
+        from repro.bdd import support
+
+        # f = x0 & x1 | x2&~x2 — structurally mentions x2.
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)),
+            m.apply_and(m.var(2), m.negate(m.var(2))),
+        )
+        tree = decompose_recursive(Interval.exact(m, f))
+        assert 2 not in support(m, tree.function)
+
+    def test_dont_cares_enable_simpler_tree(self):
+        """Figure 3.1's interval yields a strictly cheaper tree than the
+        exact majority function."""
+        m = BDDManager(3)
+        a, b, c = m.var(0), m.var(1), m.var(2)
+        f = m.disjoin([m.apply_and(a, b), m.apply_and(a, c), m.apply_and(b, c)])
+        dc = m.cube({0: True, 1: False, 2: True})
+        exact_tree = decompose_recursive(Interval.exact(m, f))
+        dc_tree = decompose_recursive(Interval.with_dont_cares(m, f, dc))
+        assert dc_tree.cost() <= exact_tree.cost()
+
+    def test_gate_restriction(self, rng):
+        m = BDDManager(4)
+        f, _ = random_bdd(m, 4, rng)
+        tree = decompose_recursive(Interval.exact(m, f), gates=("or", "and"))
+
+        def no_xor(t):
+            assert t.op != "xor"
+            for child in t.children:
+                no_xor(child)
+
+        no_xor(tree)
+
+
+class TestMinimizedLeaves:
+    def test_minimize_leaves_member(self, rng):
+        m = BDDManager(4)
+        for _ in range(10):
+            f, _ = random_bdd(m, 4, rng)
+            dc, _ = random_bdd(m, 4, rng)
+            interval = Interval.with_dont_cares(m, f, dc)
+            tree = decompose_recursive(interval, minimize_leaves=True)
+            assert interval.contains(tree.function)
+
+    def test_minimize_never_worse(self, rng):
+        m = BDDManager(4)
+        totals = [0, 0]
+        for _ in range(10):
+            f, _ = random_bdd(m, 4, rng)
+            dc, _ = random_bdd(m, 4, rng)
+            interval = Interval.with_dont_cares(m, f, dc)
+            plain = decompose_recursive(interval)
+            minimised = decompose_recursive(interval, minimize_leaves=True)
+            totals[0] += plain.leaf_literals()
+            totals[1] += minimised.leaf_literals()
+        assert totals[1] <= totals[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bits_f=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    bits_dc=st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_property_recursive_membership(bits_f, bits_dc):
+    """The realised function is always inside the requested interval."""
+    m = BDDManager(4)
+    f = TruthTable(bits_f, 4).to_bdd(m, [0, 1, 2, 3])
+    dc = TruthTable(bits_dc, 4).to_bdd(m, [0, 1, 2, 3])
+    interval = Interval.with_dont_cares(m, f, dc)
+    tree = decompose_recursive(interval)
+    assert interval.contains(tree.function)

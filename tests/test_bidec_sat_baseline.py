@@ -1,0 +1,99 @@
+"""Tests for the Lee-Jiang-Hung-style SAT bi-decomposition baseline."""
+
+from repro.bdd import BDDManager
+from repro.bidec.checks import or_decomposable, xor_decomposable_cs
+from repro.bidec.sat_baseline import SatBiDecomposer
+from repro.intervals import Interval
+
+from conftest import random_bdd
+
+
+class TestSatChecksAgainstBddChecks:
+    def test_or_agreement(self, rng):
+        """SAT OR check agrees with condition (3.2) on exact functions
+        across all small partitions."""
+        m = BDDManager(4)
+        for _ in range(8):
+            f, _ = random_bdd(m, 4, rng)
+            interval = Interval.exact(m, f)
+            decomposer = SatBiDecomposer(m, f)
+            support = decomposer.support
+            if len(support) < 2:
+                continue
+            for i, a in enumerate(support):
+                for b in support[i + 1 :]:
+                    want = or_decomposable(interval, [a], [b])
+                    got = decomposer.or_decomposable([a], [b])
+                    assert got == want, (a, b)
+
+    def test_xor_agreement(self, rng):
+        m = BDDManager(4)
+        for _ in range(8):
+            f, _ = random_bdd(m, 4, rng)
+            decomposer = SatBiDecomposer(m, f)
+            support = decomposer.support
+            if len(support) < 2:
+                continue
+            for i, a in enumerate(support):
+                for b in support[i + 1 :]:
+                    want = xor_decomposable_cs(m, f, [a], [b])
+                    got = decomposer.xor_decomposable([a], [b])
+                    assert got == want, (a, b)
+
+    def test_or_disjoint_known(self):
+        m = BDDManager(4)
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))
+        )
+        decomposer = SatBiDecomposer(m, f)
+        assert decomposer.or_decomposable([0, 1], [2, 3])
+        assert not decomposer.or_decomposable([0], [1])
+
+    def test_xor_parity_known(self):
+        m = BDDManager(4)
+        parity = m.var(0)
+        for i in range(1, 4):
+            parity = m.apply_xor(parity, m.var(i))
+        decomposer = SatBiDecomposer(m, parity)
+        assert decomposer.xor_decomposable([0, 1], [2, 3])
+        assert decomposer.xor_decomposable([0], [3])
+
+
+class TestGreedyGrowth:
+    def test_greedy_or_partition_valid(self):
+        m = BDDManager(6)
+        f = m.disjoin(
+            m.apply_and(m.var(2 * i), m.var(2 * i + 1)) for i in range(3)
+        )
+        decomposer = SatBiDecomposer(m, f)
+        partition = decomposer.greedy_partition("or")
+        assert partition is not None
+        support1, support2 = partition
+        interval = Interval.exact(m, f)
+        all_vars = set(decomposer.support)
+        assert or_decomposable(interval, all_vars - support1, all_vars - support2)
+
+    def test_greedy_xor_partition_valid(self):
+        from repro.benchgen import adder_sum_bit
+
+        m = BDDManager()
+        f, variables = adder_sum_bit(m, 2)
+        decomposer = SatBiDecomposer(m, f)
+        partition = decomposer.greedy_partition("xor")
+        assert partition is not None
+        sizes = sorted(map(len, partition))
+        assert sizes == [2, len(variables) - 2]
+
+    def test_greedy_none_when_undecomposable(self):
+        m = BDDManager(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        decomposer = SatBiDecomposer(m, f)
+        assert decomposer.greedy_partition("or") is None
+
+    def test_check_counter(self):
+        m = BDDManager(3)
+        f = m.apply_or(m.var(0), m.apply_and(m.var(1), m.var(2)))
+        decomposer = SatBiDecomposer(m, f)
+        decomposer.or_decomposable([0], [1])
+        decomposer.or_decomposable([1], [2])
+        assert decomposer.checks_performed == 2

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.network import outputs_equal, parse_blif, read_blif, save_blif
+
+DEMO = """
+.model demo
+.inputs a en
+.outputs z
+.latch n0 q0 0
+.latch n1 q1 0
+.names q0 en n0
+10 1
+01 1
+.names q1 q0 en n1
+010 1
+110 1
+101 1
+.names q0 q1 a z
+111 1
+001 1
+.end
+"""
+
+
+@pytest.fixture
+def demo_path(tmp_path):
+    path = tmp_path / "demo.blif"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestStats:
+    def test_stats(self, demo_path, capsys):
+        assert main(["stats", demo_path]) == 0
+        out = capsys.readouterr().out
+        assert "latches: 2" in out
+
+    def test_bench_input(self, tmp_path, capsys):
+        path = tmp_path / "x.bench"
+        path.write_text("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+        assert main(["stats", str(path)]) == 0
+        assert "inputs: 1" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_optimize_roundtrip(self, demo_path, tmp_path, capsys):
+        out_path = str(tmp_path / "opt.blif")
+        assert main(["optimize", demo_path, "-o", out_path]) == 0
+        optimized = read_blif(out_path)
+        assert outputs_equal(parse_blif(DEMO), optimized, cycles=40)
+        assert "decomposed" in capsys.readouterr().out
+
+    def test_no_states_flag(self, demo_path, tmp_path):
+        out_path = str(tmp_path / "opt2.blif")
+        assert main(["optimize", demo_path, "-o", out_path, "--no-states"]) == 0
+
+
+class TestMap:
+    def test_map(self, demo_path, capsys):
+        assert main(["map", demo_path]) == 0
+        out = capsys.readouterr().out
+        assert "area=" in out and "delay=" in out
+
+    def test_map_optimized(self, demo_path, capsys):
+        assert main(["map", demo_path, "--optimize", "--mode", "delay"]) == 0
+
+
+class TestReach:
+    def test_reach(self, demo_path, capsys):
+        assert main(["reach", demo_path]) == 0
+        out = capsys.readouterr().out
+        assert "log2(reachable states)" in out
+
+
+class TestDecompose:
+    def test_decompose_signal(self, demo_path, capsys):
+        assert main(["decompose", demo_path, "z"]) == 0
+        out = capsys.readouterr().out
+        assert "without states:" in out and "with states:" in out
+
+    def test_unknown_signal(self, demo_path):
+        assert main(["decompose", demo_path, "ghost"]) == 1
+
+
+class TestCheck:
+    def test_equivalent(self, demo_path, tmp_path):
+        copy_path = str(tmp_path / "copy.blif")
+        save_blif(parse_blif(DEMO), copy_path)
+        assert main(["check", demo_path, copy_path]) == 0
+        assert main(["check", demo_path, copy_path, "--sat"]) == 0
+        assert main(["check", demo_path, copy_path, "--sequential"]) == 0
+
+    def test_not_equivalent(self, demo_path, tmp_path, capsys):
+        broken = parse_blif(DEMO)
+        from repro.network import Node
+
+        broken.replace_node("z", Node("z", "and", ["q0", "a"]))
+        broken_path = str(tmp_path / "broken.blif")
+        save_blif(broken, broken_path)
+        assert main(["check", demo_path, broken_path]) == 2
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+class TestSimulateConvert:
+    def test_simulate_vcd(self, demo_path, tmp_path, capsys):
+        out = str(tmp_path / "trace.vcd")
+        assert main(["simulate", demo_path, "-o", out, "--cycles", "10"]) == 0
+        text = (tmp_path / "trace.vcd").read_text()
+        assert "$enddefinitions $end" in text and "#10" in text
+
+    def test_convert_to_verilog(self, demo_path, tmp_path):
+        out = str(tmp_path / "demo.v")
+        assert main(["convert", demo_path, "-o", out]) == 0
+        text = (tmp_path / "demo.v").read_text()
+        assert text.startswith("module") and "endmodule" in text
+
+    def test_convert_to_bench_roundtrip(self, demo_path, tmp_path):
+        from repro.network import read_bench
+
+        out = str(tmp_path / "demo.bench")
+        assert main(["convert", demo_path, "-o", out]) == 0
+        assert outputs_equal(parse_blif(DEMO), read_bench(out), cycles=30)
+
+
+class TestGenerate:
+    def test_generate_iscas(self, tmp_path, capsys):
+        out_path = str(tmp_path / "s344.blif")
+        assert main(["generate", "s344", "-o", out_path]) == 0
+        net = read_blif(out_path)
+        assert len(net.latches) == 15
+
+    def test_generate_unknown(self, tmp_path):
+        assert main(["generate", "nope", "-o", str(tmp_path / "x.blif")]) == 1

@@ -1,0 +1,176 @@
+"""Edge-path tests: less-travelled branches across the stack."""
+
+import pytest
+
+from repro.bdd import BDDManager, FALSE, TRUE
+
+
+class TestBddEdges:
+    def test_iter_models_no_variables(self):
+        from repro.bdd import iter_models
+
+        m = BDDManager(1)
+        assert list(iter_models(m, TRUE, [])) == [{}]
+        assert list(iter_models(m, FALSE, [])) == []
+
+    def test_sat_count_zero_vars(self):
+        from repro.bdd import sat_count
+
+        m = BDDManager(0)
+        assert sat_count(m, TRUE, 0) == 1
+
+    def test_restrict_all_vars(self):
+        m = BDDManager(3)
+        f = m.conjoin([m.var(0), m.var(1), m.var(2)])
+        assert m.restrict(f, {0: True, 1: True, 2: True}) == TRUE
+        assert m.restrict(f, {0: True, 1: False, 2: True}) == FALSE
+
+    def test_weight_functions_empty_varset(self):
+        from repro.bdd import weight_functions
+
+        m = BDDManager(1)
+        weights = weight_functions(m, [])
+        assert weights == [TRUE]
+
+    def test_transfer_into_smaller_manager_fails_cleanly(self):
+        from repro.bdd import transfer
+
+        src = BDDManager(3)
+        f = src.var(2)
+        dst = BDDManager(1)
+        with pytest.raises(ValueError):
+            transfer(src, f, dst)
+
+
+class TestIntervalEdges:
+    def test_members_of_exact(self):
+        from repro.intervals import Interval
+
+        m = BDDManager(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        members = list(Interval.exact(m, f).members([0, 1]))
+        assert members == [f]
+
+    def test_reduce_support_of_constant(self):
+        from repro.intervals import Interval
+
+        m = BDDManager(2)
+        interval = Interval.exact(m, TRUE)
+        reduced, dropped = interval.reduce_support()
+        assert reduced.support() == set() and dropped == set()
+
+    def test_abstract_empty_varset(self):
+        from repro.intervals import Interval
+
+        m = BDDManager(2)
+        interval = Interval.exact(m, m.var(0))
+        same = interval.abstract([])
+        assert same.lower == interval.lower and same.upper == interval.upper
+
+
+class TestNetworkEdges:
+    def test_wide_xor_blif_roundtrip(self):
+        from repro.network import Network, outputs_equal, parse_blif, write_blif
+
+        net = Network("wx")
+        for name in "abc":
+            net.add_input(name)
+        net.add_node("z", "xor", ["a", "b", "c"])
+        net.add_output("z")
+        again = parse_blif(write_blif(net))
+        assert outputs_equal(net, again)
+
+    def test_bench_const_gates(self):
+        from repro.network import parse_bench
+
+        net = parse_bench(
+            "INPUT(a)\nOUTPUT(z)\nk = CONST1()\nz = AND(a, k)\n"
+        )
+        from repro.network import evaluate_combinational
+
+        assert evaluate_combinational(net, {"a": 1}, 1)["z"] == 1
+
+    def test_simulate_partial_initial_state(self):
+        from repro.network import Network, simulate_sequence
+
+        net = Network("p")
+        net.add_input("x")
+        net.add_latch("q0", "x", init=False)
+        net.add_latch("q1", "x", init=True)
+        net.add_output("q0")
+        net.add_output("q1")
+        trace = simulate_sequence(
+            net, [{"x": 0}], 1, initial_state={"q0": 1}
+        )
+        assert trace[0]["q0"] == 1  # overridden
+        assert trace[0]["q1"] == 1  # from declared init
+
+    def test_empty_network_stats(self):
+        from repro.network import Network
+
+        net = Network("empty")
+        assert net.stats()["nodes"] == 0
+        assert net.topological_order() == []
+
+
+class TestMappingEdges:
+    def test_load_custom_library_path(self, tmp_path):
+        from repro.mapping import load_library
+
+        path = tmp_path / "tiny.genlib"
+        path.write_text(
+            "GATE inv 1.0 O=!a; PIN * INV 1 99 1 0.1 1 0.1\n"
+            "GATE nand2 2.0 O=!(a*b); PIN * INV 1 99 1 0.1 1 0.1\n"
+            "GATE and2 2.5 O=a*b; PIN * NONINV 1 99 1 0.1 1 0.1\n"
+            "GATE or2 2.5 O=a+b; PIN * NONINV 1 99 1 0.1 1 0.1\n"
+            "GATE xor2 4.0 O=a^b; PIN * UNKNOWN 1 99 1 0.1 1 0.1\n"
+            "GATE buf 1.0 O=a; PIN * NONINV 1 99 1 0.1 1 0.1\n"
+            "GATE zero 0 O=0;\nGATE one 0 O=1;\n"
+        )
+        library = load_library(str(path))
+        assert len(library) == 8
+        from repro.benchgen import ripple_adder_network
+        from repro.mapping import map_network
+
+        result = map_network(ripple_adder_network(3), library)
+        assert result.area > 0
+
+    def test_structurally_redundant_logic_maps(self):
+        """x | ~x inside a cone must not break the mapper."""
+        from repro.mapping import load_library, map_network
+        from repro.mapping.mapper import mapped_to_network
+        from repro.network import Network, outputs_equal
+
+        net = Network("red")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("na", "not", ["a"])
+        net.add_node("taut", "or", ["a", "na"])
+        net.add_node("z", "and", ["taut", "b"])
+        net.add_output("z")
+        library = load_library()
+        result = map_network(net, library)
+        rebuilt = mapped_to_network(net, result, library)
+        assert outputs_equal(net, rebuilt)
+
+
+class TestSynthEdges:
+    def test_algorithm1_empty_outputs(self):
+        from repro.network import Network
+        from repro.synth import algorithm1
+
+        net = Network("null")
+        net.add_input("a")
+        report = algorithm1(net)
+        assert report.network.inputs == ["a"]
+
+    def test_algorithm1_time_budget_zero(self):
+        from repro.benchgen import iscas_analog
+        from repro.network import outputs_equal
+        from repro.synth import SynthesisOptions, algorithm1
+
+        net = iscas_analog("s344")
+        report = algorithm1(net, SynthesisOptions(time_budget=0.0))
+        # Everything copied structurally, still equivalent.
+        assert outputs_equal(net, report.network, cycles=20)
+        assert report.decomposed() == 0

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs and prints what it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Figure 3.1" in out
+        assert "g1" in out and "OR" in out
+
+    def test_sequential_dont_cares(self):
+        out = run_example("sequential_dont_cares.py")
+        assert "reachable states: 4 of 8" in out
+        assert "Figure 3.1" in out
+
+    def test_mux_partitions(self):
+        out = run_example("mux_partitions.py", "3")
+        assert "(4, 4)" in out and "(7, 7)" in out
+        assert "70" in out
+
+    def test_adder_xor(self):
+        out = run_example("adder_xor.py", "4")
+        assert "(2, 5)" in out and "(2, 9)" in out
+
+    @pytest.mark.slow
+    def test_synthesis_flow(self):
+        out = run_example("synthesis_flow.py", "s344")
+        assert "area ratio" in out
+        assert "with states" in out
+
+    @pytest.mark.slow
+    def test_custom_library(self):
+        out = run_example("custom_library.py")
+        assert "mcnc-like" in out and "verified equivalent" in out

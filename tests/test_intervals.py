@@ -1,0 +1,155 @@
+"""Tests for the interval representation of incompletely specified
+functions (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.intervals import Interval
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd
+
+
+def random_interval(manager, num_vars, rng):
+    f, _ = random_bdd(manager, num_vars, rng)
+    dc, _ = random_bdd(manager, num_vars, rng)
+    return Interval.with_dont_cares(manager, f, dc)
+
+
+class TestBasics:
+    def test_example_3_1(self):
+        """[~x y, x+y] contains exactly the four functions ~xy, y, x^y,
+        x+y (paper Example 3.1)."""
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        interval = Interval(m, m.apply_and(m.negate(x), y), m.apply_or(x, y))
+        assert interval.is_consistent()
+        assert interval.num_members(2) == 4
+        members = set(interval.members([0, 1]))
+        expected = {
+            m.apply_and(m.negate(x), y),
+            y,
+            m.apply_xor(x, y),
+            m.apply_or(x, y),
+        }
+        assert members == expected
+
+    def test_exact_interval(self, rng):
+        m = BDDManager(3)
+        f, _ = random_bdd(m, 3, rng)
+        interval = Interval.exact(m, f)
+        assert interval.is_exact()
+        assert interval.num_members(3) == 1
+        assert interval.contains(f)
+
+    def test_with_dont_cares_bounds(self, rng):
+        m = BDDManager(3)
+        f, ftt = random_bdd(m, 3, rng)
+        dc, dctt = random_bdd(m, 3, rng)
+        interval = Interval.with_dont_cares(m, f, dc)
+        assert TruthTable.from_bdd(m, interval.lower, [0, 1, 2]) == ftt & ~dctt
+        assert TruthTable.from_bdd(m, interval.upper, [0, 1, 2]) == ftt | dctt
+        assert TruthTable.from_bdd(m, interval.dont_care(), [0, 1, 2]) == dctt
+
+    def test_inconsistent_interval(self):
+        m = BDDManager(1)
+        interval = Interval(m, m.var(0), m.negate(m.var(0)))
+        assert not interval.is_consistent()
+        with pytest.raises(ValueError):
+            interval.num_members(1)
+
+    def test_membership(self, rng):
+        m = BDDManager(3)
+        interval = random_interval(m, 3, rng)
+        assert interval.contains(interval.lower)
+        assert interval.contains(interval.upper)
+        assert not interval.contains(m.negate(interval.lower)) or interval.dont_care() == 1
+
+
+class TestOperations:
+    def test_complement_involution(self, rng):
+        m = BDDManager(3)
+        interval = random_interval(m, 3, rng)
+        twice = interval.complement().complement()
+        assert twice.lower == interval.lower and twice.upper == interval.upper
+
+    def test_complement_members(self):
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        interval = Interval(m, m.apply_and(x, y), x)
+        comp = interval.complement()
+        for member in interval.members([0, 1]):
+            assert comp.contains(m.negate(member))
+
+    def test_abstract_consistency_iff_vacuous_member(self, rng):
+        """can_abstract(v) iff some member is independent of v (checked
+        by enumeration)."""
+        from repro.bdd import support
+
+        m = BDDManager(3)
+        for _ in range(15):
+            interval = random_interval(m, 3, rng)
+            for var in range(3):
+                expected = any(
+                    var not in support(m, member)
+                    for member in interval.members([0, 1, 2])
+                )
+                assert interval.can_abstract([var]) == expected
+
+    def test_reduce_support_consistent(self, rng):
+        m = BDDManager(4)
+        for _ in range(20):
+            interval = random_interval(m, 4, rng)
+            reduced, dropped = interval.reduce_support()
+            assert reduced.is_consistent()
+            assert reduced.support() & dropped == set()
+            # The reduced interval is a sub-interval: its members all
+            # belong to the original.
+            assert interval.contains(reduced.lower)
+            assert interval.contains(reduced.upper)
+
+    def test_essential_support(self):
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        # [xy, x] : members xy and x; y is not essential, x is.
+        interval = Interval(m, m.apply_and(x, y), x)
+        assert interval.essential_support() == {0}
+
+    def test_restrict(self, rng):
+        m = BDDManager(3)
+        interval = random_interval(m, 3, rng)
+        restricted = interval.restrict({0: True})
+        assert restricted.lower == m.cofactor(interval.lower, 0, True)
+        assert restricted.upper == m.cofactor(interval.upper, 0, True)
+
+    def test_num_members_formula(self, rng):
+        from repro.bdd import sat_count
+
+        m = BDDManager(3)
+        interval = random_interval(m, 3, rng)
+        dc_count = sat_count(m, interval.dont_care(), 3)
+        assert interval.num_members(3) == 2 ** dc_count
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    bits_f=st.integers(min_value=0, max_value=255),
+    bits_dc=st.integers(min_value=0, max_value=255),
+    subset=st.sets(st.integers(min_value=0, max_value=2)),
+)
+def test_property_abstraction_sound(bits_f, bits_dc, subset):
+    """If abstraction of S stays consistent, the result's members are
+    members of the original and independent of S."""
+    from repro.bdd import support
+
+    m = BDDManager(3)
+    f = TruthTable(bits_f, 3).to_bdd(m, [0, 1, 2])
+    dc = TruthTable(bits_dc, 3).to_bdd(m, [0, 1, 2])
+    interval = Interval.with_dont_cares(m, f, dc)
+    abstracted = interval.abstract(sorted(subset))
+    if abstracted.is_consistent():
+        assert interval.contains(abstracted.lower)
+        assert interval.contains(abstracted.upper)
+        assert support(m, abstracted.lower) & subset == set()
+        assert support(m, abstracted.upper) & subset == set()

@@ -1,0 +1,67 @@
+"""Tests for algebraic quick-factoring."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.logic.factoring import (
+    ConstExpr,
+    evaluate,
+    factor,
+    factored_literals,
+    literal_count,
+)
+from repro.logic.sop import Cover, Cube, isop_function
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd
+
+
+class TestFactor:
+    def test_constant_covers(self):
+        assert factor(Cover([])) == ConstExpr(False)
+        assert factor(Cover([Cube(())])) == ConstExpr(True)
+
+    def test_single_cube(self):
+        cover = Cover([Cube.from_dict({0: True, 1: False})])
+        expr = factor(cover)
+        assert literal_count(expr) == 2
+
+    def test_factoring_reduces_literals(self):
+        # ab + ac + ad: flat 6 literals, factored a(b+c+d) = 4.
+        cover = Cover(
+            [
+                Cube.from_dict({0: True, 1: True}),
+                Cube.from_dict({0: True, 2: True}),
+                Cube.from_dict({0: True, 3: True}),
+            ]
+        )
+        assert cover.literal_count() == 6
+        assert factored_literals(cover) == 4
+
+    def test_factored_never_worse_on_shared_literal_covers(self, rng):
+        m = BDDManager(4)
+        for _ in range(30):
+            node, _ = random_bdd(m, 4, rng)
+            cover = isop_function(m, node)
+            assert factored_literals(cover) <= max(cover.literal_count(), 1)
+
+    def test_semantics_preserved(self, rng):
+        m = BDDManager(4)
+        for _ in range(40):
+            node, table = random_bdd(m, 4, rng)
+            expr = factor(isop_function(m, node))
+            for minterm in range(16):
+                assignment = [bool((minterm >> i) & 1) for i in range(4)]
+                assert evaluate(expr, assignment) == table.evaluate(assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(bits=st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_property_factor_preserves_function(bits):
+    m = BDDManager(4)
+    table = TruthTable(bits, 4)
+    node = table.to_bdd(m, [0, 1, 2, 3])
+    expr = factor(isop_function(m, node))
+    for minterm in range(16):
+        assignment = [bool((minterm >> i) & 1) for i in range(4)]
+        assert evaluate(expr, assignment) == table.evaluate(assignment)

@@ -1,0 +1,141 @@
+"""Tests for SOP covers and the Minato-Morreale ISOP algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.logic.sop import Cover, Cube, isop, isop_function
+from repro.logic.truthtable import TruthTable
+
+from conftest import random_bdd, tt_of
+
+
+class TestCube:
+    def test_roundtrip(self):
+        cube = Cube.from_dict({2: True, 0: False})
+        assert cube.as_dict() == {0: False, 2: True}
+        assert len(cube) == 2
+
+    def test_evaluate(self):
+        cube = Cube.from_dict({0: True, 1: False})
+        assert cube.evaluate({0: True, 1: False, 2: True})
+        assert not cube.evaluate({0: True, 1: True})
+
+    def test_to_bdd(self):
+        m = BDDManager(3)
+        cube = Cube.from_dict({0: True, 2: False})
+        node = cube.to_bdd(m)
+        assert m.evaluate(node, [True, False, False])
+        assert not m.evaluate(node, [True, False, True])
+
+    def test_str(self):
+        assert str(Cube(())) == "1"
+        assert "~x1" in str(Cube.from_dict({1: False}))
+
+
+class TestCover:
+    def test_literal_count(self):
+        cover = Cover([Cube.from_dict({0: True}), Cube.from_dict({1: True, 2: False})])
+        assert cover.literal_count() == 3
+
+    def test_evaluate_matches_bdd(self, rng):
+        m = BDDManager(3)
+        node, table = random_bdd(m, 3, rng)
+        cover = isop_function(m, node)
+        for minterm in range(8):
+            assignment = {i: bool((minterm >> i) & 1) for i in range(3)}
+            assert cover.evaluate(assignment) == table.evaluate(
+                [assignment[i] for i in range(3)]
+            )
+
+
+class TestIsop:
+    def test_exact_cover_equals_function(self, rng):
+        m = BDDManager(4)
+        for _ in range(30):
+            node, _ = random_bdd(m, 4, rng)
+            cover, g = isop(m, node, node)
+            assert g == node
+            assert cover.to_bdd(m) == node
+
+    def test_interval_containment(self, rng):
+        """ISOP of [l,u] lands inside the interval."""
+        m = BDDManager(4)
+        for _ in range(30):
+            f, _ = random_bdd(m, 4, rng)
+            g, _ = random_bdd(m, 4, rng)
+            lower, upper = m.apply_and(f, g), m.apply_or(f, g)
+            cover, result = isop(m, lower, upper)
+            assert m.leq(lower, result)
+            assert m.leq(result, upper)
+            assert cover.to_bdd(m) == result
+
+    def test_inconsistent_interval_rejected(self):
+        m = BDDManager(1)
+        from repro.bdd.manager import FALSE, TRUE
+
+        with pytest.raises(ValueError):
+            isop(m, TRUE, FALSE)
+
+    def test_dont_cares_reduce_literals(self):
+        """The classic benefit: don't cares shrink the cover."""
+        m = BDDManager(3)
+        # f = exactly the minterm 111; with DC covering 110,101,011 the
+        # cover can use fewer literals.
+        f = m.cube({0: True, 1: True, 2: True})
+        dc = m.disjoin(
+            [
+                m.cube({0: True, 1: True, 2: False}),
+                m.cube({0: True, 1: False, 2: True}),
+                m.cube({0: False, 1: True, 2: True}),
+            ]
+        )
+        exact_cover, _ = isop(m, f, f)
+        wide_cover, _ = isop(m, f, m.apply_or(f, dc))
+        assert wide_cover.literal_count() < exact_cover.literal_count()
+
+    def test_tautology(self):
+        m = BDDManager(2)
+        from repro.bdd.manager import TRUE
+
+        cover, g = isop(m, TRUE, TRUE)
+        assert g == TRUE
+        assert len(cover) == 1 and len(cover.cubes[0]) == 0
+
+    def test_empty(self):
+        m = BDDManager(2)
+        from repro.bdd.manager import FALSE
+
+        cover, g = isop(m, FALSE, FALSE)
+        assert g == FALSE
+        assert len(cover) == 0
+
+    def test_irredundant(self, rng):
+        """Dropping any cube of the ISOP breaks the lower bound — the
+        cover is irredundant."""
+        m = BDDManager(4)
+        for _ in range(10):
+            node, _ = random_bdd(m, 4, rng)
+            cover, g = isop(m, node, node)
+            if len(cover) <= 1:
+                continue
+            for skip in range(len(cover)):
+                rest = Cover([c for i, c in enumerate(cover) if i != skip])
+                assert not m.leq(node, rest.to_bdd(m))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bits_f=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    bits_dc=st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_property_isop_interval(bits_f, bits_dc):
+    """ISOP(l, u) is always inside [l, u] and equals its own cover BDD."""
+    m = BDDManager(4)
+    f = TruthTable(bits_f, 4)
+    dc = TruthTable(bits_dc, 4)
+    lower = (f & ~dc).to_bdd(m, [0, 1, 2, 3])
+    upper = (f | dc).to_bdd(m, [0, 1, 2, 3])
+    cover, g = isop(m, lower, upper)
+    assert m.leq(lower, g) and m.leq(g, upper)
+    assert cover.to_bdd(m) == g

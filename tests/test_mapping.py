@@ -1,0 +1,190 @@
+"""Tests for genlib parsing, library matching and the technology mapper."""
+
+import itertools
+
+import pytest
+
+from repro.logic.truthtable import TruthTable
+from repro.mapping import (
+    Library,
+    load_library,
+    map_network,
+    parse_genlib,
+    prepare_subject_graph,
+)
+from repro.mapping.mapper import mapped_to_network
+from repro.network import Network, outputs_equal, parse_blif
+
+from conftest import random_bdd
+
+
+MINI_GENLIB = """
+GATE inv 1.0 O=!a; PIN * INV 1.0 999 0.9 0.3 0.9 0.3
+GATE nand2 2.0 O=!(a*b); PIN * INV 1.0 999 1.0 0.35 1.0 0.35
+GATE and2 3.0 O=a*b; PIN * NONINV 1.0 999 1.2 0.25 1.2 0.25
+GATE or2 3.0 O=a+b; PIN * NONINV 1.0 999 1.25 0.27 1.25 0.27
+GATE xor2 5.0 O=a^b; PIN * UNKNOWN 2.0 999 1.6 0.45 1.6 0.45
+GATE aoi21 3.0 O=!(a*b+c); PIN * INV 1.0 999 1.15 0.41 1.15 0.41
+GATE zero 0 O=0;
+GATE one 0 O=1;
+"""
+
+
+class TestGenlibParsing:
+    def test_parse_counts(self):
+        gates = parse_genlib(MINI_GENLIB)
+        assert len(gates) == 8
+        by_name = {g.name: g for g in gates}
+        assert by_name["nand2"].area == 2.0
+        assert by_name["nand2"].inputs == ["a", "b"]
+
+    def test_formula_truth_tables(self):
+        gates = {g.name: g for g in parse_genlib(MINI_GENLIB)}
+        nand2 = gates["nand2"].truth_table()
+        assert nand2 == ~TruthTable.from_function(lambda a, b: a and b, 2)
+        aoi21 = gates["aoi21"].truth_table()
+        assert aoi21 == ~TruthTable.from_function(
+            lambda a, b, c: (a and b) or c, 3
+        )
+        assert gates["zero"].truth_table().bits == 0
+
+    def test_pin_model(self):
+        gates = {g.name: g for g in parse_genlib(MINI_GENLIB)}
+        pin = gates["xor2"].pin("a")
+        assert pin.block_delay == 1.6
+        assert pin.fanout_delay == 0.45
+        assert pin.input_load == 2.0
+
+    def test_formula_operators(self):
+        gates = parse_genlib(
+            'GATE weird 1.0 O=!(a*!b)^(c+0)*1; PIN * INV 1 99 1 0.1 1 0.1\n'
+        )
+        table = gates[0].truth_table()
+        expected = TruthTable.from_function(
+            lambda a, b, c: (not (a and not b)) != c, 3
+        )
+        assert table == expected
+
+    def test_bundled_library_loads(self):
+        library = load_library()
+        assert len(library) >= 20
+        assert library.inverter is not None
+        assert library.constant0 is not None and library.constant1 is not None
+
+
+class TestLibraryMatching:
+    def test_match_permutation_wiring(self):
+        """Matching an asymmetric gate returns a pin wiring that realises
+        the cut function exactly."""
+        library = Library(parse_genlib(MINI_GENLIB))
+        # Cut function: !(c*a + b) over leaves (a, b, c) in that order —
+        # aoi21 with pins wired to (c, a, b) or (a, c, b).
+        cut_fn = TruthTable.from_function(
+            lambda a, b, c: not ((c and a) or b), 3
+        )
+        match = library.match(cut_fn)
+        assert match is not None and match.gate.name == "aoi21"
+        # Verify wiring: gate(pin assignments) == cut function.
+        gate_tt = match.gate.truth_table()
+        for values in itertools.product([False, True], repeat=3):
+            pin_values = [values[match.leaf_of_pin[i]] for i in range(3)]
+            assert gate_tt.evaluate(pin_values) == cut_fn.evaluate(list(values))
+
+    def test_no_match_returns_none(self):
+        library = Library(parse_genlib(MINI_GENLIB))
+        parity3 = TruthTable.from_function(lambda a, b, c: (a + b + c) % 2 == 1, 3)
+        assert library.match(parity3) is None
+
+    def test_cheapest_match_kept(self):
+        text = MINI_GENLIB + "GATE and2big 9.0 O=a*b; PIN * NONINV 1 99 2 0.5 2 0.5\n"
+        library = Library(parse_genlib(text))
+        and2 = TruthTable.from_function(lambda a, b: a and b, 2)
+        assert library.match(and2).gate.name == "and2"
+
+
+class TestMapper:
+    def test_mapping_preserves_function(self, rng):
+        library = load_library()
+        blif = """
+.model m
+.inputs a b c d
+.outputs z y
+.latch z q 0
+.names a b c t
+111 1
+100 1
+.names t d q z
+1-0 1
+-11 1
+.names a d y
+10 1
+01 1
+.end
+"""
+        net = parse_blif(blif)
+        for mode in ("area", "delay"):
+            result = map_network(net, library, mode=mode)
+            rebuilt = mapped_to_network(net, result, library)
+            assert outputs_equal(net, rebuilt, cycles=30), mode
+            assert result.area > 0 and result.delay > 0
+
+    def test_area_mode_not_worse_than_delay_mode_area(self):
+        library = load_library()
+        from repro.benchgen import ripple_adder_network
+
+        net = ripple_adder_network(4)
+        area_result = map_network(net, library, mode="area")
+        delay_result = map_network(net, library, mode="delay")
+        assert area_result.area <= delay_result.area + 1e-9
+        assert delay_result.delay <= area_result.delay + 1e-9
+
+    def test_constants_mapped(self):
+        library = load_library()
+        net = Network("k")
+        net.add_input("a")
+        net.add_node("z", "const1")
+        net.add_node("w", "and", ["a", "z"])
+        net.add_output("w")
+        result = map_network(net, library)
+        rebuilt = mapped_to_network(net, result, library)
+        assert outputs_equal(net, rebuilt)
+
+    def test_xor_uses_xor_cell(self):
+        library = load_library()
+        net = Network("x")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("z", "xor", ["a", "b"])
+        net.add_output("z")
+        result = map_network(net, library)
+        assert any(g.cell_name in ("xor2", "xnor2") for g in result.gates)
+
+    def test_load_dependent_delay(self):
+        """Driving more fanout increases the reported delay."""
+        library = load_library()
+
+        def chain(fanout):
+            # u = 4-input parity: no single library cell implements
+            # ~parity4, so the inverters cannot absorb u into their cuts
+            # and u's output net really carries the fanout load.
+            net = Network(f"f{fanout}")
+            for name in "abcd":
+                net.add_input(name)
+            net.add_node("u", "xor", list("abcd"))
+            for i in range(fanout):
+                net.add_node(f"z{i}", "not", ["u"])
+                net.add_output(f"z{i}")
+            return net
+
+        small = map_network(chain(1), library)
+        large = map_network(chain(6), library)
+        assert large.delay > small.delay
+
+    def test_subject_graph_form(self):
+        net = parse_blif(
+            ".model s\n.inputs a b c\n.outputs z\n.names a b c z\n111 1\n000 1\n.end"
+        )
+        subject = prepare_subject_graph(net)
+        for node in subject.nodes.values():
+            assert node.op in ("and", "or", "xor", "not", "buf", "const0", "const1")
+            assert len(node.fanins) <= 2

@@ -1,0 +1,132 @@
+"""Additional coverage: objective plumbing, constant trees, XOR choice
+counting, CLI on .bench files, evaluator gate subsets."""
+
+import pytest
+
+from repro.bdd import BDDManager, FALSE, TRUE
+from repro.intervals import Interval
+
+from conftest import random_bdd
+
+
+class TestObjectivePlumbing:
+    def test_decompose_interval_min_total(self, rng):
+        from repro.bidec import decompose_interval
+
+        m = BDDManager(4)
+        for _ in range(10):
+            f, _ = random_bdd(m, 4, rng)
+            balanced = decompose_interval(Interval.exact(m, f))
+            min_total = decompose_interval(
+                Interval.exact(m, f), objective="min_total"
+            )
+            if balanced is None or min_total is None:
+                continue
+            total_balanced = len(balanced.support1) + len(balanced.support2)
+            total_min = len(min_total.support1) + len(min_total.support2)
+            assert total_min <= total_balanced
+
+    def test_unknown_objective_rejected(self):
+        from repro.bidec import or_bidecompose
+
+        m = BDDManager(3)
+        f = m.apply_or(m.var(0), m.apply_and(m.var(1), m.var(2)))
+        with pytest.raises(ValueError):
+            or_bidecompose(Interval.exact(m, f), objective="vibes")
+
+
+class TestConstantTrees:
+    def test_constant_interval_leaf(self):
+        from repro.bidec.recursive import decompose_recursive
+
+        m = BDDManager(2)
+        tree = decompose_recursive(Interval.exact(m, TRUE))
+        assert tree.op == "leaf" and tree.function == TRUE
+        tree0 = decompose_recursive(Interval.exact(m, FALSE))
+        assert tree0.function == FALSE
+
+    def test_constant_tree_instantiates(self):
+        from repro.bidec.recursive import decompose_recursive
+        from repro.network import Network, evaluate_combinational, instantiate_dectree
+
+        m = BDDManager(2)
+        net = Network("k")
+        net.add_input("a")
+        tree = decompose_recursive(Interval.exact(m, TRUE))
+        signal = instantiate_dectree(net, tree, {}, "out")
+        net.add_output(signal)
+        assert evaluate_combinational(net, {"a": 0}, 1)[signal] == 1
+
+    def test_interval_collapsing_to_constant(self):
+        """An interval containing a constant decomposes to that constant
+        through reduce_support + leaf."""
+        from repro.bidec.recursive import decompose_recursive
+
+        m = BDDManager(3)
+        f = m.apply_and(m.var(0), m.var(1))
+        dc = m.negate(FALSE)  # everything is don't care
+        tree = decompose_recursive(Interval.with_dont_cares(m, f, dc))
+        assert tree.function in (TRUE, FALSE)
+        assert tree.num_gates() == 0
+
+
+class TestXorChoiceCounting:
+    def test_parity_choice_count(self):
+        """4-var parity at sizes (2,2): supports split 2/2, C(4,2)/2...
+        actually every 2-subset works for g1 with its complement for g2,
+        and both (S, S^c) orderings count: C(4,2) = 6 assignments."""
+        from repro.bidec import xor_partition_space
+
+        m = BDDManager(4)
+        parity = m.var(0)
+        for i in range(1, 4):
+            parity = m.apply_xor(parity, m.var(i))
+        space = xor_partition_space(Interval.exact(m, parity)).nontrivial()
+        assert space.best_balanced_pair() == (2, 2)
+        assert space.count_choices(2, 2) == 6
+
+
+class TestCliBench:
+    def test_cli_on_bench_format(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.network import save_bench, parse_bench
+
+        bench = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(d)\nd = XOR(a, q)\nz = AND(q, b)\n"
+        path = tmp_path / "t.bench"
+        path.write_text(bench)
+        assert main(["stats", str(path)]) == 0
+        out_path = tmp_path / "t_opt.bench"
+        assert main(["optimize", str(path), "-o", str(out_path)]) == 0
+        from repro.network import outputs_equal, read_bench
+
+        assert outputs_equal(parse_bench(bench), read_bench(out_path), cycles=30)
+
+
+class TestEvaluatorGateSubsets:
+    def test_or_only_evaluation(self):
+        from repro.benchgen import iscas_analog
+        from repro.synth import evaluate_decomposability
+
+        net = iscas_analog("s344")
+        all_gates = evaluate_decomposability(net, "s344")
+        or_only = evaluate_decomposability(net, "s344", gates=("or",))
+        assert or_only.num_dec_without() <= all_gates.num_dec_without()
+        for outcome in or_only.without_states:
+            if outcome.decomposed:
+                assert outcome.gate in ("or", "abstract")
+
+
+class TestReorderIntegration:
+    def test_reorder_shrinks_collapsed_cone(self):
+        """Sifting a collapsed multiplexer cone beats the traversal
+        order."""
+        from repro.bdd import dag_size
+        from repro.bdd.reorder import reorder
+        from repro.benchgen import multiplexer_network
+        from repro.network import ConeCollapser
+
+        net = multiplexer_network(2)
+        collapser = ConeCollapser(net)
+        f = collapser.node_function("y")
+        target, moved, _ = reorder(collapser.manager, [f], max_rounds=1)
+        assert dag_size(target, moved[0]) <= dag_size(collapser.manager, f)

@@ -1,0 +1,167 @@
+"""Tests for the AIG substrate."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network import Network, outputs_equal, parse_blif
+from repro.network.aig import (
+    Aig,
+    FALSE_LIT,
+    TRUE_LIT,
+    balance,
+    from_network,
+    lit_not,
+    to_network,
+)
+
+
+class TestAigBasics:
+    def test_constant_literals(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.and_(a, TRUE_LIT) == a
+        assert aig.and_(a, FALSE_LIT) == FALSE_LIT
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, lit_not(a)) == FALSE_LIT
+
+    def test_strashing(self):
+        aig = Aig()
+        a, b = aig.add_input(), aig.add_input()
+        assert aig.and_(a, b) == aig.and_(b, a)
+        assert aig.num_ands == 1
+
+    def test_inputs_before_ands(self):
+        aig = Aig()
+        a = aig.add_input()
+        aig.and_(a, TRUE_LIT)  # folds, doesn't freeze
+        b = aig.add_input()
+        aig.and_(a, b)
+        with pytest.raises(ValueError):
+            aig.add_input()
+
+    def test_derived_gates(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        aig.add_output("or_", aig.or_(a, b))
+        aig.add_output("xor_", aig.xor_(a, b))
+        aig.add_output("mux_", aig.mux(a, b, lit_not(b)))
+        for va, vb in itertools.product([0, 1], repeat=2):
+            values = aig.simulate({"a": va, "b": vb}, 1)
+            assert values["or_"] == (va | vb)
+            assert values["xor_"] == (va ^ vb)
+            assert values["mux_"] == (vb if va else 1 - vb)
+
+    def test_levels_and_depth(self):
+        aig = Aig()
+        a, b, c, d = (aig.add_input() for _ in range(4))
+        chain = aig.and_(aig.and_(aig.and_(a, b), c), d)
+        aig.add_output("z", chain)
+        assert aig.depth() == 3
+
+    def test_cone_ands_excludes_dangling(self):
+        aig = Aig()
+        a, b, c = (aig.add_input() for _ in range(3))
+        used = aig.and_(a, b)
+        aig.and_(b, c)  # dangling
+        aig.add_output("z", used)
+        assert aig.num_ands == 2
+        assert aig.cone_ands([used]) == 1
+
+
+class TestConversion:
+    BLIF = """
+.model conv
+.inputs a b c
+.outputs z y
+.latch y q 0
+.names a b t
+11 1
+.names t c q z
+1-- 1
+-11 1
+.names a c y
+10 1
+01 1
+.end
+"""
+
+    def test_roundtrip_equivalence(self):
+        net = parse_blif(self.BLIF)
+        aig, literal_of = from_network(net)
+        rng = random.Random(1)
+        for _ in range(30):
+            frame = {
+                name: rng.getrandbits(16)
+                for name in net.combinational_sources()
+            }
+            from repro.network import evaluate_combinational
+
+            reference = evaluate_combinational(net, frame, 16)
+            values = aig.simulate(frame, 16)
+            for sink in net.combinational_sinks():
+                assert values[sink] == reference[sink], sink
+
+    def test_to_network(self):
+        net = parse_blif(self.BLIF)
+        aig, _ = from_network(net)
+        rebuilt = to_network(aig)
+        from repro.network import evaluate_combinational
+
+        rng = random.Random(2)
+        for _ in range(20):
+            frame = {
+                name: rng.getrandbits(8)
+                for name in net.combinational_sources()
+            }
+            reference = evaluate_combinational(net, frame, 8)
+            got = evaluate_combinational(rebuilt, frame, 8)
+            for sink in net.combinational_sinks():
+                assert got[sink] == reference[sink]
+
+    def test_and_count_close_to_estimate(self):
+        """The netlist's and_inv estimate and the true AIG count agree
+        within a reasonable factor."""
+        from repro.benchgen import iscas_analog
+
+        net = iscas_analog("s344")
+        aig, _ = from_network(net)
+        estimate = net.and_inv_count()
+        assert 0.3 * estimate <= aig.num_ands <= 3 * estimate
+
+
+class TestBalance:
+    def test_balance_reduces_chain_depth(self):
+        aig = Aig()
+        inputs = [aig.add_input(f"x{i}") for i in range(8)]
+        chain = inputs[0]
+        for literal in inputs[1:]:
+            chain = aig.and_(chain, literal)
+        aig.add_output("z", chain)
+        assert aig.depth() == 7
+        flat = balance(aig)
+        assert flat.depth() == 3  # ceil(log2(8))
+
+    def test_balance_preserves_function(self):
+        rng = random.Random(5)
+        aig = Aig()
+        inputs = [aig.add_input(f"x{i}") for i in range(6)]
+        # Random nested expression.
+        pool = list(inputs)
+        for _ in range(12):
+            a, b = rng.sample(pool, 2)
+            op = rng.choice(["and", "or", "xor"])
+            if op == "and":
+                pool.append(aig.and_(a, b))
+            elif op == "or":
+                pool.append(aig.or_(a, b))
+            else:
+                pool.append(aig.xor_(a, b))
+        aig.add_output("z", pool[-1])
+        aig.add_output("w", lit_not(pool[-2]))
+        flat = balance(aig)
+        assert flat.depth() <= aig.depth()
+        for trial in range(40):
+            frame = {f"x{i}": rng.getrandbits(8) for i in range(6)}
+            assert aig.simulate(frame, 8) == flat.simulate(frame, 8), trial

@@ -1,0 +1,116 @@
+"""Tests for Verilog and VCD export."""
+
+import re
+
+from repro.network import Network, parse_blif, random_simulation
+from repro.network.vcd import trace_to_vcd
+from repro.network.verilog import write_verilog
+
+BLIF = """
+.model exp
+.inputs a b
+.outputs z
+.latch nz q 1
+.names a b t
+11 1
+.names t q nz
+1- 1
+-1 1
+.names nz z
+1 1
+.end
+"""
+
+
+class TestVerilog:
+    def test_module_structure(self):
+        text = write_verilog(parse_blif(BLIF))
+        assert text.startswith("module exp (")
+        assert "input clk;" in text
+        assert "always @(posedge clk)" in text
+        assert "q <= nz;" in text
+        assert "initial begin" in text and "q = 1'b1;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_combinational_has_no_clock(self):
+        net = Network("comb")
+        net.add_input("a")
+        net.add_node("z", "not", ["a"])
+        net.add_output("z")
+        text = write_verilog(net)
+        assert "clk" not in text
+        assert "assign z = ~a;" in text
+
+    def test_cover_expression(self):
+        text = write_verilog(parse_blif(BLIF))
+        # .names t q nz with rows 1-/-1 becomes an OR of the two fanins.
+        assert re.search(r"assign nz = .*t.*\|.*q", text)
+
+    def test_escaped_names(self):
+        net = Network("esc")
+        net.add_input("sig[3]")
+        net.add_node("module", "not", ["sig[3]"])  # keyword collision
+        net.add_output("module")
+        text = write_verilog(net)
+        assert "\\sig[3] " in text
+        assert "\\module " in text
+
+    def test_all_ops_emit(self):
+        net = Network("ops")
+        for name in ("a", "b"):
+            net.add_input(name)
+        net.add_node("w_and", "and", ["a", "b"])
+        net.add_node("w_or", "or", ["a", "b"])
+        net.add_node("w_xor", "xor", ["a", "b"])
+        net.add_node("w_buf", "buf", ["a"])
+        net.add_node("w_c0", "const0")
+        net.add_node("w_c1", "const1")
+        net.add_output("w_and")
+        text = write_verilog(net)
+        for fragment in ("a & b", "a | b", "a ^ b", "1'b0", "1'b1"):
+            assert fragment in text
+
+
+class TestVcd:
+    def test_header_and_changes(self):
+        net = parse_blif(BLIF)
+        frames = random_simulation(net, cycles=8, width=4, seed=3)
+        text = trace_to_vcd(net, frames)
+        assert "$enddefinitions $end" in text
+        assert "$var wire 1" in text
+        assert "#0" in text and "#8" in text
+
+    def test_only_changes_recorded(self):
+        net = Network("toggle")
+        net.add_input("x")
+        net.add_node("z", "buf", ["x"])
+        net.add_output("z")
+        from repro.network import simulate_sequence
+
+        frames = simulate_sequence(
+            net, [{"x": 1}, {"x": 1}, {"x": 0}], 1
+        )
+        text = trace_to_vcd(net, frames, signals=["x"])
+        # x changes at cycle 0 (to 1) and cycle 2 (to 0); no entry for 1.
+        body = text.split("$enddefinitions $end")[1]
+        assert "#0" in body and "#2" in body
+        assert "#1" not in body.replace("#1\n", "#1\n")  # only the end marker #3
+        assert body.count("1!") == 1 and body.count("0!") == 1
+
+    def test_slot_selection(self):
+        net = Network("slots")
+        net.add_input("x")
+        net.add_node("z", "buf", ["x"])
+        net.add_output("z")
+        from repro.network import simulate_sequence
+
+        frames = simulate_sequence(net, [{"x": 0b10}], 2)
+        slot0 = trace_to_vcd(net, frames, slot=0, signals=["x"])
+        slot1 = trace_to_vcd(net, frames, slot=1, signals=["x"])
+        assert "0!" in slot0 and "1!" in slot1
+
+    def test_identifier_uniqueness(self):
+        from repro.network.vcd import _identifier
+
+        ids = {_identifier(i) for i in range(2000)}
+        assert len(ids) == 2000

@@ -1,0 +1,162 @@
+"""Tests for BLIF and ISCAS89 bench readers/writers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import (
+    outputs_equal,
+    parse_bench,
+    parse_blif,
+    write_bench,
+    write_blif,
+)
+
+SAMPLE_BLIF = """
+# a comment
+.model sample
+.inputs a b c
+.outputs z y
+.latch nz q 1
+.names a b t1
+11 1
+.names t1 c q nz
+1-- 1
+-11 1
+.names nz z
+1 1
+.names a c y
+00 0
+01 0
+10 0
+.end
+"""
+
+SAMPLE_BENCH = """
+# sample bench
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q = DFF(d)
+n1 = NAND(a, b)
+n2 = NOR(a, q)
+n3 = XNOR(n1, n2)
+d = AND(n3, b)
+z = NOT(d)
+"""
+
+
+class TestBlif:
+    def test_parse_interface(self):
+        net = parse_blif(SAMPLE_BLIF)
+        assert net.inputs == ["a", "b", "c"]
+        assert net.outputs == ["z", "y"]
+        assert net.latches["q"].data_in == "nz"
+        assert net.latches["q"].init is True
+
+    def test_offset_cover(self):
+        """A cover with 0 output rows is parsed as a complemented node."""
+        net = parse_blif(SAMPLE_BLIF)
+        from repro.network import evaluate_combinational
+
+        values = evaluate_combinational(
+            net, {"a": 1, "b": 0, "c": 1, "q": 0}, 1
+        )
+        assert values["y"] == 1  # ~(offset) at a=1,c=1
+
+    def test_roundtrip_equivalent(self):
+        net = parse_blif(SAMPLE_BLIF)
+        again = parse_blif(write_blif(net))
+        assert outputs_equal(net, again, cycles=20)
+
+    def test_continuation_lines(self):
+        text = ".model c\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n"
+        net = parse_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_constants(self):
+        text = ".model k\n.outputs z o\n.names z\n.names o\n1\n.end\n"
+        net = parse_blif(text)
+        assert net.nodes["z"].op == "const0"
+        assert net.nodes["o"].op == "const1"
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(ValueError):
+            parse_blif(".model x\n.gate nand2 a=a\n.end")
+
+    def test_writer_emits_primitives(self):
+        from repro.network import Network
+
+        net = Network("w")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", "xor", ["a", "b"])
+        net.add_node("n", "not", ["x"])
+        net.add_output("n")
+        text = write_blif(net)
+        reparsed = parse_blif(text)
+        assert outputs_equal(net, reparsed)
+
+
+class TestBench:
+    def test_parse_interface(self):
+        net = parse_bench(SAMPLE_BENCH)
+        assert net.inputs == ["a", "b"]
+        assert net.outputs == ["z"]
+        assert "q" in net.latches
+
+    def test_inverted_gates_expanded(self):
+        net = parse_bench(SAMPLE_BENCH)
+        assert net.nodes["n1"].op == "not"  # NAND = NOT(AND)
+
+    def test_roundtrip_equivalent(self):
+        net = parse_bench(SAMPLE_BENCH)
+        again = parse_bench(write_bench(net))
+        assert outputs_equal(net, again, cycles=20)
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("z = FROB(a)\n")
+        with pytest.raises(ValueError):
+            parse_bench("this is not bench\n")
+
+    def test_cover_node_rejected_on_write(self):
+        net = parse_blif(SAMPLE_BLIF)
+        with pytest.raises(ValueError):
+            write_bench(net)
+
+    def test_cross_format(self):
+        """bench -> blif -> parse keeps behaviour."""
+        net = parse_bench(SAMPLE_BENCH)
+        blif_text = write_blif(net)
+        reparsed = parse_blif(blif_text)
+        assert outputs_equal(net, reparsed, cycles=20)
+
+
+class TestBlifFuzz:
+    """Hypothesis-driven roundtrip: random small networks survive
+    write/parse with identical behaviour."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_networks_roundtrip(self, seed):
+        from repro.benchgen import generate_sequential_circuit
+
+        net = generate_sequential_circuit(
+            "fz", num_inputs=3, num_outputs=2, num_latches=4, seed=seed
+        )
+        again = parse_blif(write_blif(net))
+        assert outputs_equal(net, again, cycles=12, seed=seed)
+
+
+class TestFileIo:
+    def test_save_and_read(self, tmp_path):
+        from repro.network import read_blif, save_blif, read_bench, save_bench
+
+        net = parse_blif(SAMPLE_BLIF)
+        path = tmp_path / "x.blif"
+        save_blif(net, path)
+        assert outputs_equal(net, read_blif(path))
+        bench_net = parse_bench(SAMPLE_BENCH)
+        bench_path = tmp_path / "x.bench"
+        save_bench(bench_net, bench_path)
+        assert outputs_equal(bench_net, read_bench(bench_path))

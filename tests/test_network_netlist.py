@@ -1,0 +1,150 @@
+"""Tests for the sequential netlist data structure."""
+
+import pytest
+
+from repro.logic.sop import Cover, Cube
+from repro.network import Network
+
+
+def small_net():
+    net = Network("t")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_latch("q", "nq", init=True)
+    net.add_node("u", "and", ["a", "b"])
+    net.add_node("nq", "xor", ["u", "q"])
+    net.add_node("z", "not", ["nq"])
+    net.add_output("z")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_signal_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("a", "const0")
+        with pytest.raises(ValueError):
+            net.add_latch("a", "x")
+
+    def test_bad_op_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.add_node("n", "nandx", [])
+
+    def test_not_arity_checked(self):
+        net = Network()
+        net.add_input("a")
+        net.add_input("b")
+        with pytest.raises(ValueError):
+            net.add_node("n", "not", ["a", "b"])
+
+    def test_cover_requires_cover(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("n", "cover", ["a"])
+
+    def test_fresh_name_unique(self):
+        net = small_net()
+        name = net.fresh_name("u")
+        assert not net.is_signal(name)
+
+
+class TestStructure:
+    def test_sources_and_sinks(self):
+        net = small_net()
+        assert net.combinational_sources() == ["a", "b", "q"]
+        assert net.combinational_sinks() == ["z", "nq"]
+
+    def test_topological_order(self):
+        net = small_net()
+        order = net.topological_order()
+        assert order.index("u") < order.index("nq")
+        assert order.index("nq") < order.index("z")
+
+    def test_cycle_detected(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("x", "and", ["a", "y"])
+        net.add_node("y", "and", ["a", "x"])
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_undefined_fanin_detected(self):
+        net = Network()
+        net.add_node("x", "not", ["ghost"])
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_cone_and_supports(self):
+        net = small_net()
+        assert set(net.cone_inputs("z")) == {"a", "b", "q"}
+        assert net.latch_support("z") == {"q"}
+        assert net.latch_support("u") == set()
+
+    def test_fanout_map(self):
+        net = small_net()
+        fanouts = net.fanout_map()
+        assert fanouts["u"] == {"nq"}
+        assert fanouts["q"] == {"nq"}
+
+    def test_deep_cone_no_recursion_limit(self):
+        """Topological order must handle cones deeper than Python's
+        recursion limit."""
+        net = Network()
+        net.add_input("a")
+        prev = "a"
+        for i in range(3000):
+            prev = net.add_node(f"n{i}", "not", [prev])
+        net.add_output(prev)
+        order = net.topological_order()
+        assert len(order) == 3000
+
+
+class TestStats:
+    def test_literal_count(self):
+        net = small_net()
+        # and(2) + xor(2) + not(1)
+        assert net.literal_count() == 5
+
+    def test_and_inv_count(self):
+        net = Network()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_input("c")
+        net.add_node("w", "and", ["a", "b", "c"])  # 2 ANDs
+        net.add_node("x", "xor", ["a", "b"])  # 3 ANDs
+        cover = Cover([Cube.from_dict({0: True, 1: True}), Cube.from_dict({2: True})])
+        net.add_node("y", "cover", ["a", "b", "c"], cover)  # 1 + 1
+        assert net.and_inv_count() == 2 + 3 + 2
+
+    def test_stats_keys(self):
+        stats = small_net().stats()
+        assert stats["inputs"] == 2 and stats["latches"] == 1
+
+
+class TestEditing:
+    def test_prune_dangling(self):
+        net = small_net()
+        net.add_node("dead", "and", ["a", "b"])
+        removed = net.prune_dangling()
+        assert removed == 1
+        assert "dead" not in net.nodes
+
+    def test_copy_independent(self):
+        net = small_net()
+        clone = net.copy()
+        clone.add_node("extra", "not", ["a"])
+        assert "extra" not in net.nodes
+        clone.latches["q"].init = False
+        assert net.latches["q"].init is True
+
+    def test_replace_node(self):
+        from repro.network import Node
+
+        net = small_net()
+        net.replace_node("u", Node("u", "or", ["a", "b"]))
+        assert net.nodes["u"].op == "or"
+        with pytest.raises(KeyError):
+            net.replace_node("ghost", Node("ghost", "const0"))

@@ -1,0 +1,119 @@
+"""Tests for observability don't cares."""
+
+import itertools
+
+from repro.bdd import BDDManager
+from repro.network import Network, evaluate_combinational, parse_blif
+from repro.network.odc import observability_dont_cares, signal_interval_with_odc
+
+
+def gated_net():
+    """z = en & u, u = a ^ b: whenever en = 0, u is unobservable."""
+    net = Network("gated")
+    for name in ("a", "b", "en"):
+        net.add_input(name)
+    net.add_node("u", "xor", ["a", "b"])
+    net.add_node("z", "and", ["en", "u"])
+    net.add_output("z")
+    return net
+
+
+class TestOdc:
+    def test_gating_condition_found(self):
+        net = gated_net()
+        odc, collapser = observability_dont_cares(net, "u")
+        manager = collapser.manager
+        en_var = collapser.var_of["en"]
+        # ODC(u) == ~en (value of u irrelevant exactly when en = 0).
+        assert odc == manager.negate(manager.var(en_var))
+
+    def test_odc_semantics_by_simulation(self):
+        """Direct definition check: on every ODC assignment, flipping the
+        signal's value changes no sink."""
+        net = gated_net()
+        odc, collapser = observability_dont_cares(net, "u")
+        manager = collapser.manager
+        sources = [n for n in net.combinational_sources()]
+        # Sources hidden behind the cut point may not have variables yet;
+        # source_var allocates on demand.
+        var_of = {n: collapser.source_var(n) for n in sources}
+        for values in itertools.product([0, 1], repeat=len(sources)):
+            frame = dict(zip(sources, values))
+            assignment = {var_of[n]: bool(frame[n]) for n in sources}
+            in_odc = manager.evaluate(odc, assignment)
+            # Simulate with u forced to 0 and to 1 by rewriting the node.
+            outs = []
+            for forced in ("const0", "const1"):
+                mutant = net.copy()
+                from repro.network import Node
+
+                mutant.replace_node("u", Node("u", forced, []))
+                outs.append(evaluate_combinational(mutant, frame, 1)["z"])
+            if in_odc:
+                assert outs[0] == outs[1], frame
+
+    def test_fully_observable_signal(self):
+        net = Network("wire")
+        net.add_input("a")
+        net.add_node("u", "not", ["a"])
+        net.add_node("z", "buf", ["u"])
+        net.add_output("z")
+        odc, collapser = observability_dont_cares(net, "u")
+        assert odc == 0  # always observable
+
+    def test_requires_internal_node(self):
+        import pytest
+
+        net = gated_net()
+        with pytest.raises(ValueError):
+            observability_dont_cares(net, "a")
+
+    def test_interval_enables_decomposition(self):
+        """ODCs widen the interval enough to simplify the signal: with
+        en = 0 a don't care, u = a^b restricted to en can pick a simpler
+        member when combined with further constraints."""
+        net = gated_net()
+        interval, collapser = signal_interval_with_odc(net, "u")
+        manager = collapser.manager
+        assert interval.is_consistent()
+        a = manager.var(collapser.var_of["a"])
+        b = manager.var(collapser.var_of["b"])
+        en = manager.var(collapser.var_of["en"])
+        # u itself is a member; so is u masked by en (a^b)&en — the
+        # implementation freedom the ODC grants.
+        assert interval.contains(manager.apply_xor(a, b))
+        assert interval.contains(
+            manager.apply_and(manager.apply_xor(a, b), en)
+        )
+
+    def test_replacing_member_preserves_outputs(self):
+        """End-to-end soundness: substituting any ODC-interval member for
+        the node leaves all outputs identical on every input."""
+        net = gated_net()
+        interval, collapser = signal_interval_with_odc(net, "u")
+        manager = collapser.manager
+        # Use the lower bound, instantiated structurally.
+        from repro.logic.sop import isop
+        from repro.network import Node
+        from repro.logic.sop import Cover, Cube
+
+        cover, _ = isop(manager, interval.lower, interval.lower)
+        names = {var: name for name, var in collapser.var_of.items()}
+        variables = sorted({v for c in cover for v, _ in c.literals})
+        position = {v: i for i, v in enumerate(variables)}
+        local = Cover(
+            [
+                Cube.from_dict({position[v]: p for v, p in c.literals})
+                for c in cover
+            ]
+        )
+        mutant = net.copy()
+        mutant.replace_node(
+            "u", Node("u", "cover", [names[v] for v in variables], local)
+        )
+        for values in itertools.product([0, 1], repeat=3):
+            frame = dict(zip(["a", "b", "en"], values))
+            assert (
+                evaluate_combinational(net, frame, 1)["z"]
+                == evaluate_combinational(mutant, frame, 1)["z"]
+            ), frame

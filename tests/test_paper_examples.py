@@ -1,0 +1,191 @@
+"""Integration tests reproducing the paper's worked examples and
+headline table values end to end."""
+
+import math
+
+from repro.bdd import BDDManager, exists, forall
+from repro.bidec import (
+    GreedyXorProfiler,
+    or_bidecompose,
+    or_partition_space,
+    parameterized_exists,
+    parameterized_forall,
+    xor_partition_space,
+)
+from repro.intervals import Interval
+
+
+class TestExample31:
+    def test_interval_members(self):
+        """Example 3.1: [~x y, x+y] = {~xy, y, x^y, x+y}; each member's
+        don't-care freedom lives on the x-true half-space."""
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        interval = Interval(m, m.apply_and(m.negate(x), y), m.apply_or(x, y))
+        assert interval.num_members(2) == 4
+        assert interval.dont_care() == x
+
+
+class TestExample32:
+    def test_abstractions(self):
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        interval = Interval(m, m.apply_and(m.negate(x), y), m.apply_or(x, y))
+        abstracted = interval.abstract([0])
+        assert abstracted.is_consistent()
+        assert abstracted.lower == abstracted.upper == y
+        assert not interval.abstract([1]).is_consistent()
+
+
+class TestExample33to35:
+    def test_parameterized_tree(self):
+        """Example 3.3/3.4: the parameterized bounds encode all four
+        abstractions of [~xy, x+y]; exactly the abstractions of {} and
+        {x} are feasible (Example 3.4's two check marks)."""
+        m = BDDManager()
+        x = m.new_var("x")
+        y = m.new_var("y")
+        cx = m.new_var("cx")
+        cy = m.new_var("cy")
+        lower = m.apply_and(m.negate(m.var(x)), m.var(y))
+        upper = m.apply_or(m.var(x), m.var(y))
+        l_param = parameterized_exists(m, lower, [x, y], [cx, cy])
+        u_param = parameterized_forall(m, upper, [x, y], [cx, cy])
+        consistent = forall(
+            m, m.implies(l_param, u_param), [x, y]
+        )
+        # Example 3.5: the characteristic function of consistent
+        # assignments is cy (abstracting y is infeasible, x is fine).
+        assert consistent == m.var(cy)
+
+    def test_example_34_feasible_abstractions(self):
+        """Of the four subsets only {} and {x} abstract consistently."""
+        m = BDDManager(2)
+        x, y = m.var(0), m.var(1)
+        interval = Interval(m, m.apply_and(m.negate(x), y), m.apply_or(x, y))
+        assert interval.abstract([]).is_consistent()
+        assert interval.abstract([0]).is_consistent()
+        assert not interval.abstract([1]).is_consistent()
+        assert not interval.abstract([0, 1]).is_consistent()
+
+
+class TestMuxTable:
+    """Section 3.4.1 table: exact best partitions and choice counts."""
+
+    def test_width_2(self):
+        self._check(2, (4, 4), 6)
+
+    def test_width_3(self):
+        self._check(3, (7, 7), 70)
+
+    def test_width_4(self):
+        self._check(4, (12, 12), 12870)
+
+    @staticmethod
+    def _check(width, expected_best, expected_choices):
+        from repro.benchgen import multiplexer_function
+
+        m = BDDManager()
+        f, ctrl, data = multiplexer_function(m, width)
+        space = or_partition_space(Interval.exact(m, f)).nontrivial()
+        best = space.best_balanced_pair()
+        assert best == expected_best
+        assert space.count_choices(*best) == expected_choices
+
+    def test_choice_formula(self):
+        """Best-partition choices = C(2^k, 2^(k-1)): split the data lines
+        evenly, controls shared."""
+        from repro.benchgen import multiplexer_function
+
+        for width in (2, 3):
+            m = BDDManager()
+            f, ctrl, data = multiplexer_function(m, width)
+            space = or_partition_space(Interval.exact(m, f)).nontrivial()
+            best = space.best_balanced_pair()
+            n_data = len(data)
+            assert best == (
+                n_data // 2 + width,
+                n_data // 2 + width,
+            )
+            assert space.count_choices(*best) == math.comb(n_data, n_data // 2)
+
+
+class TestAdderTable:
+    """Section 3.4.2 table: implicit enumeration finds the (2, n-2)
+    split; the explicit greedy check blows up."""
+
+    def test_implicit_best_partitions(self):
+        from repro.benchgen import adder_sum_bit
+
+        for bit in (2, 4):
+            m = BDDManager()
+            f, variables = adder_sum_bit(m, bit)
+            space = xor_partition_space(Interval.exact(m, f)).nontrivial()
+            assert space.best_balanced_pair() == (2, len(variables) - 2)
+
+    def test_explicit_greedy_slower_than_implicit(self):
+        """At s6 the explicit cofactor-enumeration greedy already costs
+        more than the implicit computation (the table's crossover)."""
+        import time
+
+        from repro.benchgen import adder_sum_bit
+
+        m = BDDManager()
+        f, variables = adder_sum_bit(m, 6)
+        t0 = time.perf_counter()
+        space = xor_partition_space(Interval.exact(m, f)).nontrivial()
+        space.best_balanced_pair()
+        implicit_time = time.perf_counter() - t0
+
+        m2 = BDDManager()
+        f2, _ = adder_sum_bit(m2, 6)
+        profiler = GreedyXorProfiler(m2, f2, time_budget=120)
+        t0 = time.perf_counter()
+        profiler.run()
+        greedy_time = time.perf_counter() - t0
+        assert greedy_time > implicit_time
+
+
+class TestFigure31:
+    def test_full_flow(self):
+        """Figure 3.1 from a real sequential design: build the 3-latch
+        circuit whose state 101 is unreachable, extract the don't care
+        via reachability, and find the OR decomposition g1(a,b)+g2(b,c)."""
+        from repro.network import Network
+        from repro.reach import DontCareManager
+
+        net = Network("fig31")
+        # Three latches holding a one-hot-ish pattern that never visits
+        # (a,b,c) = (1,0,1): a 3-bit shifter seeded 000 that sets bits
+        # left to right: states 000,100,110,111 (and stays).
+        net.add_input("go")
+        net.add_latch("a", "na", False)
+        net.add_latch("b", "nb", False)
+        net.add_latch("c", "nc", False)
+        net.add_node("na", "or", ["a", "go"])
+        net.add_node("nb", "or", ["b", "a"])
+        net.add_node("nc", "or", ["c", "b"])
+        # f = majority(a,b,c)
+        net.add_node("ab", "and", ["a", "b"])
+        net.add_node("ac", "and", ["a", "c"])
+        net.add_node("bc", "and", ["b", "c"])
+        net.add_node("f", "or", ["ab", "ac", "bc"])
+        net.add_output("f")
+
+        dcm = DontCareManager(net, max_partition_size=3)
+        target = BDDManager()
+        var_of = {name: target.new_var(name) for name in ("a", "b", "c")}
+        unreachable = dcm.unreachable_for({"a", "b", "c"}, target, var_of)
+        # State a~bc (101) is among the unreachable ones.
+        assert target.evaluate(
+            unreachable,
+            {var_of["a"]: True, var_of["b"]: False, var_of["c"]: True},
+        )
+        a, b, c = (target.var(var_of[n]) for n in ("a", "b", "c"))
+        f = target.disjoin(
+            [target.apply_and(a, b), target.apply_and(a, c), target.apply_and(b, c)]
+        )
+        interval = Interval.with_dont_cares(target, f, unreachable)
+        result = or_bidecompose(interval)
+        assert result is not None and result.verify()
+        assert result.max_support_size <= 2

@@ -1,0 +1,133 @@
+"""Tests for induction-based unreachable-state approximation."""
+
+from repro.bdd import BDDManager, sat_count
+from repro.network import Network, parse_blif
+from repro.reach import TransitionSystem, explicit_reachable_states, forward_reachable
+from repro.reach.induction import Candidate, InductiveInvariant, propose_candidates
+
+
+def locked_pair_net():
+    """Two latches that start equal and are updated identically, plus a
+    latch stuck at 0: q_a == q_b and q_c == 0 are inductive."""
+    net = Network("locked")
+    net.add_input("x")
+    net.add_latch("qa", "n", False)
+    net.add_latch("qb", "n", False)
+    net.add_latch("qc", "zero", False)
+    net.add_node("n", "xor", ["qa", "x"])
+    net.add_node("zero", "const0")
+    net.add_node("z", "and", ["qa", "qb"])
+    net.add_output("z")
+    return net
+
+
+def antivalent_net():
+    """Latches initialised complementary and toggled together."""
+    net = Network("anti")
+    net.add_input("x")
+    net.add_latch("qa", "na", False)
+    net.add_latch("qb", "nb", True)
+    net.add_node("na", "xor", ["qa", "x"])
+    net.add_node("nb", "xor", ["qb", "x"])
+    net.add_node("z", "xor", ["qa", "qb"])
+    net.add_output("z")
+    return net
+
+
+class TestProposal:
+    def test_finds_constant_and_equivalence(self):
+        candidates = propose_candidates(locked_pair_net())
+        kinds = {(c.kind, c.latch_a, c.latch_b) for c in candidates}
+        assert ("const", "qc", None) in kinds
+        assert ("equiv", "qa", "qb") in kinds
+
+    def test_finds_antivalence(self):
+        candidates = propose_candidates(antivalent_net())
+        assert any(c.kind == "antiv" for c in candidates)
+
+    def test_no_latches(self):
+        net = Network("comb")
+        net.add_input("a")
+        net.add_node("z", "not", ["a"])
+        net.add_output("z")
+        assert propose_candidates(net) == []
+
+
+class TestInduction:
+    def test_invariants_survive(self):
+        invariant = InductiveInvariant(locked_pair_net())
+        described = set(invariant.describe())
+        assert "qc == 0" in described
+        assert "qa == qb" in described
+
+    def test_non_inductive_candidate_dropped(self):
+        """A candidate true in simulation by luck but not inductive is
+        filtered out."""
+        net = locked_pair_net()
+        bogus = Candidate("const", "qa", value=False)  # qa toggles with x
+        invariant = InductiveInvariant(net, candidates=[bogus])
+        assert invariant.survivors == []
+
+    def test_invariant_overapproximates_reachable(self):
+        """Soundness: every reachable state satisfies the invariant, so
+        its complement only contains unreachable states."""
+        for net in (locked_pair_net(), antivalent_net()):
+            invariant = InductiveInvariant(net)
+            explicit = explicit_reachable_states(net)
+            latches = list(net.latches)
+            target = BDDManager()
+            var_of = {name: target.new_var(name) for name in latches}
+            unreachable = invariant.unreachable_for(target, var_of)
+            for state in explicit:
+                assignment = {
+                    var_of[l]: state[i] for i, l in enumerate(latches)
+                }
+                assert not target.evaluate(unreachable, assignment), state
+
+    def test_weaker_than_exact_reachability(self):
+        """The inductive complement never exceeds the exact unreachable
+        set (and on these designs finds a nonempty subset)."""
+        net = locked_pair_net()
+        exact = forward_reachable(TransitionSystem(net))
+        exact_unreachable = (1 << 3) - exact.num_states()
+        invariant = InductiveInvariant(net)
+        target = BDDManager()
+        var_of = {name: target.new_var(name) for name in net.latches}
+        unreachable = invariant.unreachable_for(target, var_of)
+        count = sat_count(target, unreachable, 3)
+        assert 0 < count <= exact_unreachable
+
+    def test_fixpoint_filtering(self):
+        """Mutually dependent candidates fall together: q == r is only
+        inductive when s == 0 also survives; killing s == 0 must kill
+        q == r in the next round."""
+        net = Network("chain")
+        net.add_input("x")
+        net.add_latch("q", "nq", False)
+        net.add_latch("r", "nr", False)
+        net.add_latch("s", "ns", False)
+        # s toggles freely -> s == 0 is NOT inductive.
+        net.add_node("ns", "xor", ["s", "x"])
+        # q' = x, r' = x | s: equal only while s == 0.
+        net.add_node("nq", "buf", ["x"])
+        net.add_node("nr", "or", ["x", "s"])
+        net.add_node("z", "and", ["q", "r"])
+        net.add_output("z")
+        candidates = [
+            Candidate("equiv", "q", "r"),
+            Candidate("const", "s", value=False),
+        ]
+        invariant = InductiveInvariant(net, candidates=candidates)
+        assert invariant.survivors == []
+
+    def test_projection_to_subset(self):
+        """unreachable_for with a subset of latches only uses candidates
+        whose latches are all present."""
+        net = locked_pair_net()
+        invariant = InductiveInvariant(net)
+        target = BDDManager()
+        var_of = {"qc": target.new_var("qc")}
+        unreachable = invariant.unreachable_for(target, var_of)
+        # qc == 0 invariant -> qc == 1 unreachable.
+        assert target.evaluate(unreachable, {var_of["qc"]: True})
+        assert not target.evaluate(unreachable, {var_of["qc"]: False})

@@ -1,0 +1,131 @@
+"""Tests for latch partition selection and unreachable don't cares."""
+
+import math
+
+from repro.bdd import BDDManager, sat_count
+from repro.network import Network
+from repro.reach import (
+    DontCareManager,
+    LatchPartition,
+    partitions_for_support,
+    select_latch_partitions,
+    signal_ps_supports,
+)
+
+
+def two_counter_net():
+    """Two independent mod-3 counters of 2 bits each + an output reading
+    each block."""
+    from repro.benchgen.fsm import add_mod_counter
+
+    net = Network("2cnt")
+    en = net.add_input("en")
+    q_a = add_mod_counter(net, "a_", 2, 3, en)
+    q_b = add_mod_counter(net, "b_", 2, 3, en)
+    net.add_node("za", "and", q_a)
+    net.add_node("zb", "and", q_b)
+    net.add_output("za")
+    net.add_output("zb")
+    return net
+
+
+class TestPartitionSelection:
+    def test_supports_covered(self):
+        """Every sink's supp_ps is inside at least one partition (the
+        paper's first selection goal)."""
+        net = two_counter_net()
+        partitions = select_latch_partitions(net, max_size=4)
+        supports = signal_ps_supports(net)
+        for signal, support in supports.items():
+            if not support:
+                continue
+            assert any(
+                support <= set(p.latches) for p in partitions
+            ), signal
+
+    def test_size_cap_respected(self):
+        net = two_counter_net()
+        for p in select_latch_partitions(net, max_size=2):
+            assert len(p.latches) <= 2
+
+    def test_oversized_support_truncated(self):
+        net = two_counter_net()
+        # max_size=1 cannot hold any 2-latch support; still returns
+        # partitions of size <= 1.
+        partitions = select_latch_partitions(net, max_size=1)
+        assert partitions
+        assert all(len(p.latches) <= 1 for p in partitions)
+
+    def test_partitions_for_support(self):
+        parts = [LatchPartition(("a", "b")), LatchPartition(("c",))]
+        assert partitions_for_support(parts, {"a"}) == [0]
+        assert partitions_for_support(parts, {"c", "a"}) == [0, 1]
+        assert partitions_for_support(parts, {"z"}) == []
+
+
+class TestDontCareManager:
+    def test_unreachable_exact_for_whole_block(self):
+        net = two_counter_net()
+        dcm = DontCareManager(net, max_partition_size=2)
+        target = BDDManager()
+        var_of = {name: target.new_var(name) for name in net.latches}
+        unreachable = dcm.unreachable_for(
+            {"a_q0", "a_q1"}, target, var_of
+        )
+        # mod-3 counter: state 11 unreachable -> exactly 1 of 4.
+        count = sat_count(target, unreachable, target.num_vars) >> (
+            target.num_vars - 2
+        )
+        assert count == 1
+
+    def test_underapproximation_sound(self):
+        """Every state flagged unreachable really is unreachable (checked
+        against the explicit oracle)."""
+        from repro.reach import explicit_reachable_states
+
+        net = two_counter_net()
+        explicit = explicit_reachable_states(net)
+        latches = list(net.latches)
+        dcm = DontCareManager(net, max_partition_size=2)
+        target = BDDManager()
+        var_of = {name: target.new_var(name) for name in latches}
+        unreachable = dcm.unreachable_for(set(latches), target, var_of)
+        for state_bits in range(1 << len(latches)):
+            assignment = {
+                var_of[l]: bool((state_bits >> i) & 1)
+                for i, l in enumerate(latches)
+            }
+            flagged = target.evaluate(
+                unreachable, {v: assignment[v] for v in assignment}
+            )
+            state = tuple(
+                bool((state_bits >> i) & 1) for i in range(len(latches))
+            )
+            if flagged:
+                assert state not in explicit
+
+    def test_lazy_computation(self):
+        net = two_counter_net()
+        dcm = DontCareManager(net, max_partition_size=2)
+        assert not dcm._results
+        dcm.reachability(0)
+        assert 0 in dcm._results and len(dcm._results) == 1
+
+    def test_empty_support_gives_no_dc(self):
+        net = two_counter_net()
+        dcm = DontCareManager(net, max_partition_size=2)
+        target = BDDManager()
+        unreachable = dcm.unreachable_for(set(), target, {})
+        assert unreachable == 0  # complement of TRUE
+
+    def test_log2_states_two_blocks(self):
+        net = two_counter_net()
+        dcm = DontCareManager(net, max_partition_size=2)
+        # Each block reaches 3 of 4 states: log2(3) + log2(3).
+        assert abs(dcm.approximate_log2_states() - 2 * math.log2(3)) < 1e-6
+
+    def test_compute_all(self):
+        net = two_counter_net()
+        dcm = DontCareManager(net, max_partition_size=2)
+        dcm.compute_all()
+        assert len(dcm._results) == len(dcm.partitions)

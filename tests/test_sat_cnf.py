@@ -1,0 +1,118 @@
+"""Tests for CNF encodings (Tseitin of networks and BDDs)."""
+
+import itertools
+import random
+
+from repro.bdd import BDDManager
+from repro.network import parse_blif
+from repro.sat import CnfBuilder, Solver, encode_bdd, encode_cone
+
+from conftest import random_bdd
+
+
+def check_encoding_matches(manager, node, num_vars):
+    """The encoded CNF is satisfiable with output=1 exactly on onset
+    minterms (checked by assuming every input valuation)."""
+    builder = CnfBuilder()
+    input_literals = {v: builder.new_var() for v in range(num_vars)}
+    output = encode_bdd(manager, node, input_literals, builder)
+    solver = builder.to_solver()
+    for values in itertools.product([False, True], repeat=num_vars):
+        assumptions = [
+            input_literals[v] if values[v] else -input_literals[v]
+            for v in range(num_vars)
+        ]
+        expected = manager.evaluate(node, list(values))
+        assert solver.solve(assumptions + [output]) == expected
+        assert solver.solve(assumptions + [-output]) == (not expected)
+
+
+class TestEncodeBdd:
+    def test_random_functions(self, rng):
+        m = BDDManager(4)
+        for _ in range(10):
+            node, _ = random_bdd(m, 4, rng)
+            check_encoding_matches(m, node, 4)
+
+    def test_constants(self):
+        from repro.bdd.manager import FALSE, TRUE
+
+        m = BDDManager(1)
+        builder = CnfBuilder()
+        lits = {0: builder.new_var()}
+        out_true = encode_bdd(m, TRUE, lits, builder)
+        out_false = encode_bdd(m, FALSE, lits, builder)
+        solver = builder.to_solver()
+        assert solver.solve([out_true])
+        assert not solver.solve([out_false])
+
+
+class TestEncodeCone:
+    def test_network_cone(self):
+        blif = """
+.model t
+.inputs a b c
+.outputs z
+.names a b u
+11 1
+.names u c z
+10 1
+01 1
+.end
+"""
+        network = parse_blif(blif)
+        builder = CnfBuilder()
+        sources = {name: builder.new_var() for name in network.inputs}
+        out = encode_cone(network, "z", sources, builder)
+        solver = builder.to_solver()
+        from repro.network import evaluate_combinational
+
+        for values in itertools.product([0, 1], repeat=3):
+            frame = dict(zip(network.inputs, values))
+            expected = bool(evaluate_combinational(network, frame, 1)["z"])
+            assumptions = [
+                sources[n] if frame[n] else -sources[n] for n in network.inputs
+            ]
+            assert solver.solve(assumptions + [out]) == expected
+
+    def test_all_node_ops(self):
+        blif = """
+.model ops
+.inputs a b
+.outputs z
+.names a na
+0 1
+.names k
+1
+.names a b x1
+11 1
+.names a b o1
+1- 1
+-1 1
+.names na x1 o1 k z
+1111 1
+0--- 1
+.end
+"""
+        network = parse_blif(blif)
+        builder = CnfBuilder()
+        sources = {name: builder.new_var() for name in network.inputs}
+        out = encode_cone(network, "z", sources, builder)
+        solver = builder.to_solver()
+        from repro.network import evaluate_combinational
+
+        for values in itertools.product([0, 1], repeat=2):
+            frame = dict(zip(network.inputs, values))
+            expected = bool(evaluate_combinational(network, frame, 1)["z"])
+            assumptions = [
+                sources[n] if frame[n] else -sources[n] for n in network.inputs
+            ]
+            assert solver.solve(assumptions + [out]) == expected
+
+    def test_dimacs_export(self):
+        builder = CnfBuilder()
+        a, b = builder.new_var(), builder.new_var()
+        builder.add(a, -b)
+        text = builder.to_dimacs()
+        assert text.startswith("p cnf 2 1")
+        assert "1 -2 0" in text

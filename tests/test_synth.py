@@ -1,0 +1,219 @@
+"""Tests for Algorithm 1, sharing-aware selection and the Table 3.1
+evaluation driver."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.intervals import Interval
+from repro.network import Network, outputs_equal, parse_blif
+from repro.synth import (
+    SynthesisOptions,
+    algorithm1,
+    decompose_with_sharing,
+    evaluate_decomposability,
+)
+
+DEMO = """
+.model demo
+.inputs a b en
+.outputs z s5
+.latch n0 q0 0
+.latch n1 q1 0
+.latch n2 q2 0
+.names q1 nq1
+0 1
+.names q0 nq1 q2 s5
+111 1
+.names q0 en i0
+10 1
+01 1
+.names q0 en c1
+11 1
+.names q1 c1 i1
+10 1
+01 1
+.names q1 c1 c2
+11 1
+.names q2 c2 i2
+10 1
+01 1
+.names s5 en wrap
+11 1
+.names wrap nwrap
+0 1
+.names i0 nwrap n0
+11 1
+.names i1 nwrap n1
+11 1
+.names i2 nwrap n2
+11 1
+.names a b q0 q1 q2 z
+11101 1
+10011 1
+01110 1
+.end
+"""
+
+
+class TestAlgorithm1:
+    def test_sequentially_equivalent(self):
+        net = parse_blif(DEMO)
+        report = algorithm1(net, SynthesisOptions(max_partition_size=8))
+        assert outputs_equal(net, report.network, cycles=60)
+
+    def test_improves_literals(self):
+        net = parse_blif(DEMO)
+        report = algorithm1(net, SynthesisOptions(max_partition_size=8))
+        assert report.network.literal_count() <= net.literal_count()
+        assert report.decomposed() > 0
+
+    def test_dont_cares_help(self):
+        """With unreachable-state DCs the result is at least as small as
+        without (and on this design strictly smaller)."""
+        net = parse_blif(DEMO)
+        with_dc = algorithm1(
+            net, SynthesisOptions(max_partition_size=8, use_unreachable_states=True)
+        )
+        without_dc = algorithm1(
+            net, SynthesisOptions(max_partition_size=8, use_unreachable_states=False)
+        )
+        assert (
+            with_dc.network.literal_count()
+            <= without_dc.network.literal_count()
+        )
+
+    def test_preserves_interface(self):
+        net = parse_blif(DEMO)
+        report = algorithm1(net)
+        assert report.network.inputs == net.inputs
+        assert report.network.outputs == net.outputs
+        assert set(report.network.latches) == set(net.latches)
+
+    def test_combinational_only_network(self):
+        net = parse_blif(
+            ".model comb\n.inputs a b c\n.outputs z\n"
+            ".names a b c z\n110 1\n101 1\n011 1\n111 1\n.end"
+        )
+        report = algorithm1(net)
+        assert outputs_equal(net, report.network)
+
+    def test_large_cones_copied(self):
+        net = parse_blif(DEMO)
+        report = algorithm1(net, SynthesisOptions(max_cone_inputs=1))
+        assert outputs_equal(net, report.network, cycles=40)
+        assert all(r.action != "decomposed" for r in report.records)
+
+    def test_records_present(self):
+        net = parse_blif(DEMO)
+        report = algorithm1(net)
+        recorded = {r.signal for r in report.records}
+        assert "z" in recorded
+
+    def test_generated_circuit_roundtrip(self):
+        """Algorithm 1 on a generated ISCAS analog keeps behaviour."""
+        from repro.benchgen import generate_sequential_circuit
+
+        net = generate_sequential_circuit(
+            "tiny", num_inputs=4, num_outputs=4, num_latches=8, seed=11
+        )
+        report = algorithm1(net, SynthesisOptions(max_partition_size=8))
+        assert outputs_equal(net, report.network, cycles=50)
+
+
+class TestSharing:
+    def test_figure_3_2_reuse(self):
+        """Figure 3.2: a decomposition can reuse a node outside f's fanin
+        — the sharing-aware selector finds it."""
+        m = BDDManager(4)
+        a, b, c, d = (m.var(i) for i in range(4))
+        g1 = m.apply_and(a, b)  # already "in the network"
+        f = m.apply_or(g1, m.apply_and(c, d))
+        existing = {g1: "g1_node"}
+        result = decompose_with_sharing(Interval.exact(m, f), existing)
+        assert result is not None
+        decomposition, shared = result
+        assert shared >= 1
+        assert decomposition.verify()
+        assert g1 in (decomposition.g1, decomposition.g2)
+
+    def test_no_sharing_still_works(self):
+        m = BDDManager(4)
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))
+        )
+        result = decompose_with_sharing(Interval.exact(m, f), {})
+        assert result is not None
+        decomposition, shared = result
+        assert shared == 0 and decomposition.verify()
+
+    def test_single_var_returns_none(self):
+        m = BDDManager(1)
+        assert decompose_with_sharing(Interval.exact(m, m.var(0)), {}) is None
+
+    def test_timing_aware_isolates_late_input(self):
+        """With a very late input, the selected partition puts it into a
+        component of its own so it sits one level from the output."""
+        m = BDDManager(5)
+        # f = x4 | g(x0..x3): many OR partitions feasible, including
+        # balanced ones mixing x4 into a wide component.
+        wide = m.disjoin(
+            [m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))]
+        )
+        f = m.apply_or(m.var(4), wide)
+        arrivals = {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.0, 4: 10.0}
+        result = decompose_with_sharing(
+            Interval.exact(m, f), {}, gates=("or",), arrivals=arrivals
+        )
+        assert result is not None
+        decomposition, _ = result
+        assert decomposition.verify()
+        # The late input ends up in a singleton (or near-singleton)
+        # component, not buried inside the wide block.
+        late_side = (
+            decomposition.support1
+            if 4 in decomposition.support1
+            else decomposition.support2
+        )
+        assert len(late_side) <= 2
+
+    def test_estimated_arrival(self):
+        from repro.synth.sharing import estimated_arrival
+
+        arrivals = {0: 0.0, 1: 5.0, 2: 0.0}
+        flat = estimated_arrival([{1}, {0, 2}], arrivals)
+        buried = estimated_arrival([{0, 1, 2}, {2}], arrivals)
+        assert flat < buried
+
+
+class TestEvaluate:
+    def test_report_shape(self):
+        net = parse_blif(DEMO)
+        report = evaluate_decomposability(net, "demo")
+        assert report.latches == 3
+        assert len(report.without_states) == len(report.with_states)
+        assert report.num_dec_without() <= len(report.without_states)
+        assert 0 <= report.avg_reduct_with() <= 1.0 + 1e-9
+
+    def test_with_states_no_worse(self):
+        """Don't cares can only help OR/AND/XOR feasibility: the with-
+        states average reduction is <= the without-states one on this
+        design."""
+        net = parse_blif(DEMO)
+        report = evaluate_decomposability(net, "demo")
+        assert report.num_dec_with() >= report.num_dec_without()
+        assert report.avg_reduct_with() <= report.avg_reduct_without() + 1e-9
+
+    def test_log2_states(self):
+        import math
+
+        net = parse_blif(DEMO)
+        report = evaluate_decomposability(net, "demo")
+        # The mod-6 counter: log2(6) states.
+        assert abs(report.log2_states - math.log2(6)) < 0.5
+
+    def test_time_budget_cuts_off(self):
+        net = parse_blif(DEMO)
+        report = evaluate_decomposability(
+            net, "demo", decomposition_time_budget=0.0
+        )
+        assert len(report.without_states) == 0

@@ -1,0 +1,72 @@
+"""Tests for sharing-choice mode and the re-synthesis loop."""
+
+from repro.benchgen import generate_sequential_circuit
+from repro.network import outputs_equal
+from repro.synth import (
+    ResynthesisReport,
+    SynthesisOptions,
+    algorithm1,
+    resynthesis_loop,
+)
+
+
+def circuit(seed=3):
+    return generate_sequential_circuit(
+        "resynth",
+        num_inputs=4,
+        num_outputs=5,
+        num_latches=8,
+        counter_fraction=0.6,
+        seed=seed,
+    )
+
+
+class TestSharingChoice:
+    def test_sharing_choice_equivalent(self):
+        net = circuit()
+        report = algorithm1(
+            net,
+            SynthesisOptions(max_partition_size=6, sharing_choice=True),
+        )
+        assert outputs_equal(net, report.network, cycles=48)
+
+    def test_sharing_choice_not_worse(self):
+        net = circuit()
+        plain = algorithm1(net, SynthesisOptions(max_partition_size=6))
+        shared = algorithm1(
+            net, SynthesisOptions(max_partition_size=6, sharing_choice=True)
+        )
+        # Sharing-aware choice may deviate from balanced partitions, but
+        # should be in the same ballpark (and often strictly better).
+        assert shared.network.literal_count() <= plain.network.literal_count() * 1.2
+
+
+class TestResynthesisLoop:
+    def test_loop_equivalent_and_monotone(self):
+        net = circuit(seed=9)
+        report = resynthesis_loop(
+            net, SynthesisOptions(max_partition_size=6), max_rounds=3
+        )
+        assert isinstance(report, ResynthesisReport)
+        assert outputs_equal(net, report.network, cycles=48)
+        # The loop keeps the best network: never worse than the input.
+        assert report.network.literal_count() <= net.literal_count()
+        assert report.total_reduction() <= 1.0
+        # Trajectory starts at the original literal count.
+        assert report.literal_trajectory[0] == net.literal_count()
+
+    def test_loop_stops_at_fixpoint(self):
+        net = circuit(seed=5)
+        report = resynthesis_loop(
+            net, SynthesisOptions(max_partition_size=6), max_rounds=5
+        )
+        # If it stopped early, the last round brought no gain.
+        if len(report.rounds) < 5:
+            assert report.literal_trajectory[-1] >= report.literal_trajectory[-2]
+
+    def test_round_budget_respected(self):
+        net = circuit(seed=7)
+        report = resynthesis_loop(
+            net, SynthesisOptions(max_partition_size=6), max_rounds=1
+        )
+        assert len(report.rounds) == 1
