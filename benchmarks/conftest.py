@@ -5,14 +5,32 @@ printed to stdout (run with ``pytest benchmarks/ --benchmark-only -s`` to
 see them live) and appended to ``benchmarks/results/<experiment>.txt`` so
 a plain ``pytest benchmarks/ --benchmark-only`` run leaves the tables on
 disk.  EXPERIMENTS.md records the shape comparison against the paper.
+
+Alongside each text table, every ``bench_<name>.py`` module also leaves a
+machine-readable ``results/BENCH_<name>.json`` — one entry per test with
+its wall time and a ``repro.obs`` metrics snapshot — so the performance
+trajectory is diffable across PRs.  Instrumentation is on by default for
+the experiment benches and **off** for ``bench_substrate.py`` (whose
+statistical timings must stay comparable with uninstrumented runs);
+``REPRO_BENCH_OBS=1``/``0`` overrides either way.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
+import pytest
+
+from repro import obs
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Modules whose timings are regression-gated and therefore run without
+#: instrumentation unless explicitly requested.
+TIMING_SENSITIVE = {"bench_substrate"}
 
 
 def scale_from_env(name: str, default: float) -> float:
@@ -63,3 +81,66 @@ def get_table(experiment: str, title: str, header: str) -> TableWriter:
         writer = fresh_table(experiment, title, header)
         _WRITERS[experiment] = writer
     return writer
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable run records
+# ---------------------------------------------------------------------------
+
+#: Experiments whose JSON file was already restarted this session.
+_JSON_STARTED: set[str] = set()
+
+
+def _bench_obs_enabled(module: str) -> bool:
+    override = os.environ.get("REPRO_BENCH_OBS")
+    if override is not None:
+        return override not in ("0", "false", "")
+    return module not in TIMING_SENSITIVE
+
+
+def record_bench_json(module: str, test: str, wall_time: float,
+                      metrics: dict | None) -> Path:
+    """Append one test's record to ``results/BENCH_<module>.json``
+    (restarting the file once per session, like the text tables)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    experiment = module.removeprefix("bench_")
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    if experiment not in _JSON_STARTED or not path.exists():
+        payload = {"experiment": experiment, "entries": []}
+        _JSON_STARTED.add(experiment)
+    else:
+        payload = json.loads(path.read_text())
+    payload["entries"].append(
+        {
+            "test": test,
+            "wall_time": round(wall_time, 6),
+            "metrics": metrics,
+        }
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _bench_run_record(request):
+    """Time every bench test and persist a JSON record next to the text
+    table, with a full metrics snapshot when instrumentation is on."""
+    module = request.module.__name__
+    if not module.startswith("bench_"):
+        yield
+        return
+    instrumented = _bench_obs_enabled(module)
+    if instrumented:
+        obs.reset()
+        obs.enable()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - start
+        metrics = None
+        if instrumented:
+            obs.disable()
+            metrics = obs.report()["families"]
+            obs.reset()
+        record_bench_json(module, request.node.name, wall, metrics)

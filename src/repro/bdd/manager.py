@@ -24,12 +24,59 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro import obs as _obs
+
 #: Pseudo-level assigned to the two terminal nodes; larger than any real
 #: variable level so that terminals always sort below internal nodes.
 TERMINAL_LEVEL = 1 << 30
 
 FALSE = 0
 TRUE = 1
+
+
+class ManagerStats:
+    """Local per-manager instrumentation counters.
+
+    Kept as plain slotted integers (not :mod:`repro.obs` calls) because
+    the operator recursions are the hottest code in the package; the obs
+    registry aggregates these objects at report time instead.  ``None``
+    on uninstrumented managers, so the per-operation cost while disabled
+    is a single attribute check.
+    """
+
+    __slots__ = (
+        "ite_hits",
+        "ite_misses",
+        "and_hits",
+        "and_misses",
+        "xor_hits",
+        "xor_misses",
+        "not_hits",
+        "not_misses",
+        "inserts",
+        "cache_clears",
+        "cache_evicted",
+    )
+
+    def __init__(self) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot under the names the obs ``bdd`` family uses."""
+        return {
+            "cache.ite.hits": self.ite_hits,
+            "cache.ite.misses": self.ite_misses,
+            "cache.and.hits": self.and_hits,
+            "cache.and.misses": self.and_misses,
+            "cache.xor.hits": self.xor_hits,
+            "cache.xor.misses": self.xor_misses,
+            "cache.not.hits": self.not_hits,
+            "cache.not.misses": self.not_misses,
+            "unique.inserts": self.inserts,
+            "cache.clears": self.cache_clears,
+            "cache.evicted": self.cache_evicted,
+        }
 
 
 class BDDManager:
@@ -58,8 +105,59 @@ class BDDManager:
         self._not_cache: dict[int, int] = {}
         self._var_names: list[str] = []
         self._name_to_var: dict[str, int] = {}
+        self._stats: Optional[ManagerStats] = None
+        if _obs.enabled():
+            self.enable_stats()
         for _ in range(num_vars):
             self.new_var()
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> Optional[ManagerStats]:
+        """Cache/unique-table counters, or ``None`` when untracked."""
+        return self._stats
+
+    def enable_stats(self) -> ManagerStats:
+        """Start tracking operation statistics on this manager (counting
+        begins now; managers built while ``repro.obs`` is enabled track
+        from birth automatically)."""
+        if self._stats is None:
+            self._stats = ManagerStats()
+            _obs.track_bdd_manager(self)
+        return self._stats
+
+    @property
+    def unique_size(self) -> int:
+        """Number of unique-table entries (internal nodes)."""
+        return len(self._unique)
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current entry counts of the four operation caches."""
+        return {
+            "ite": len(self._ite_cache),
+            "and": len(self._and_cache),
+            "xor": len(self._xor_cache),
+            "not": len(self._not_cache),
+        }
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Point-in-time statistics: structure gauges plus (when tracked)
+        the operation counters."""
+        snapshot = {
+            "num_vars": self.num_vars,
+            "num_nodes": self.num_nodes,
+            "unique_size": self.unique_size,
+            **{
+                f"cache.{name}.size": size
+                for name, size in self.cache_sizes().items()
+            },
+        }
+        if self._stats is not None:
+            snapshot.update(self._stats.as_dict())
+        return snapshot
 
     # ------------------------------------------------------------------
     # Variables
@@ -160,6 +258,8 @@ class BDDManager:
             self._lo.append(lo)
             self._hi.append(hi)
             self._unique[key] = node
+            if self._stats is not None:
+                self._stats.inserts += 1
         return node
 
     # ------------------------------------------------------------------
@@ -186,7 +286,11 @@ class BDDManager:
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            if self._stats is not None:
+                self._stats.ite_hits += 1
             return cached
+        if self._stats is not None:
+            self._stats.ite_misses += 1
         level_f = self._level[f]
         level_g = self._level[g]
         level_h = self._level[h]
@@ -206,7 +310,11 @@ class BDDManager:
             return 1 - f
         cached = self._not_cache.get(f)
         if cached is not None:
+            if self._stats is not None:
+                self._stats.not_hits += 1
             return cached
+        if self._stats is not None:
+            self._stats.not_misses += 1
         result = self._mk(
             self._level[f], self.negate(self._lo[f]), self.negate(self._hi[f])
         )
@@ -229,7 +337,11 @@ class BDDManager:
         key = (f, g)
         cached = self._and_cache.get(key)
         if cached is not None:
+            if self._stats is not None:
+                self._stats.and_hits += 1
             return cached
+        if self._stats is not None:
+            self._stats.and_misses += 1
         level_f = self._level[f]
         level_g = self._level[g]
         top = min(level_f, level_g)
@@ -260,7 +372,11 @@ class BDDManager:
         key = (f, g)
         cached = self._xor_cache.get(key)
         if cached is not None:
+            if self._stats is not None:
+                self._stats.xor_hits += 1
             return cached
+        if self._stats is not None:
+            self._stats.xor_misses += 1
         level_f = self._level[f]
         level_g = self._level[g]
         top = min(level_f, level_g)
@@ -360,16 +476,34 @@ class BDDManager:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def clear_caches(self) -> None:
+    def clear_caches(self) -> int:
         """Drop all operation caches (the unique table is kept).
 
         Useful between phases of a long-running computation to bound
-        memory; correctness is unaffected.
+        memory; correctness is unaffected.  Returns the number of evicted
+        cache entries and, on instrumented managers, emits a
+        ``bdd.clear_caches`` obs event so mid-run evictions are visible
+        in reports.
         """
+        evicted = (
+            len(self._ite_cache)
+            + len(self._and_cache)
+            + len(self._xor_cache)
+            + len(self._not_cache)
+        )
         self._ite_cache.clear()
         self._and_cache.clear()
         self._xor_cache.clear()
         self._not_cache.clear()
+        if self._stats is not None:
+            self._stats.cache_clears += 1
+            self._stats.cache_evicted += evicted
+            _obs.event(
+                "bdd.clear_caches",
+                evicted=evicted,
+                unique=len(self._unique),
+            )
+        return evicted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

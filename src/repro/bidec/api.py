@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro import obs as _obs
 from repro.bdd.manager import BDDManager
 from repro.bidec.extract import ExtractedPair
 from repro.bidec.extract import extract as _extract_pair
@@ -75,6 +76,7 @@ def _decompose_with_space(
     objective: str,
     max_partition_tries: int = 8,
 ) -> Optional[BiDecomposition]:
+    _obs.inc(f"bidec.attempt.{space.gate}")
     if require_nontrivial:
         space = space.nontrivial()
     if not space.is_feasible():
@@ -91,6 +93,7 @@ def _decompose_with_space(
     for support1, support2 in space.iter_partitions(k1, k2, max_partition_tries):
         pair = _extract_pair(interval, space.gate, support1, support2)
         if pair is not None:
+            _obs.inc(f"bidec.extracted.{space.gate}")
             return BiDecomposition(
                 gate=space.gate,
                 g1=pair.g1,
@@ -162,6 +165,7 @@ def decompose_interval(
     if len(support) > max_support:
         from repro.bidec.greedy import greedy_decompose
 
+        _obs.inc("bidec.greedy_fallback")
         return greedy_decompose(interval, gates, require_nontrivial)
     best: Optional[BiDecomposition] = None
     best_key: Optional[tuple[int, int, int]] = None
@@ -179,4 +183,6 @@ def decompose_interval(
         )
         if best_key is None or key < best_key:
             best, best_key = result, key
+    if best is not None:
+        _obs.inc(f"bidec.accepted.{best.gate}")
     return best

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs as _obs
 from repro.bdd import quantify as _quantify
 from repro.bdd.compose import vector_compose
 from repro.bdd.manager import BDDManager
@@ -49,6 +50,18 @@ def parameterized_forall(
             continue
         abstracted = _quantify.forall(manager, result, [x])
         result = manager.ite(manager.var(c), result, abstracted)
+    if _obs.enabled():
+        _obs.inc("bidec.param.forall_vars", len(x_vars) - len(skipped))
+        if skipped:
+            # Resource-monitored relaxation kicked in: these variables
+            # stay pinned to "kept in both supports".
+            _obs.inc("bidec.param.skipped_vars", len(skipped))
+            _obs.event(
+                "bidec.param.budget_hit",
+                skipped=len(skipped),
+                nodes=manager.num_nodes,
+                budget=node_budget,
+            )
     if node_budget is None:
         return result
     return result, skipped
@@ -66,6 +79,7 @@ def parameterized_exists(
     for x, c in zip(x_vars, c_vars):
         abstracted = _quantify.exists(manager, result, [x])
         result = manager.ite(manager.var(c), result, abstracted)
+    _obs.inc("bidec.param.exists_vars", len(x_vars))
     return result
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import obs as _obs
 from repro.bdd import builders as _builders
 from repro.bdd import count as _count
 from repro.bdd import quantify as _quantify
@@ -101,18 +102,21 @@ class PartitionSpace:
         """
         if self.bi == FALSE:
             return []
-        bi_kappa, e1, e2 = self._size_pair_relation()
-        if prune_dominated and symbolic_prune:
-            bi_kappa = self._prune_dominated_symbolic(bi_kappa, e1, e2)
-        pairs = sorted(
-            (
-                _builders.decode_int(e1, model),
-                _builders.decode_int(e2, model),
+        with _obs.span("bidec.size_pairs"):
+            bi_kappa, e1, e2 = self._size_pair_relation()
+            if prune_dominated and symbolic_prune:
+                bi_kappa = self._prune_dominated_symbolic(bi_kappa, e1, e2)
+            pairs = sorted(
+                (
+                    _builders.decode_int(e1, model),
+                    _builders.decode_int(e2, model),
+                )
+                for model in _count.iter_models(self.manager, bi_kappa, e1 + e2)
             )
-            for model in _count.iter_models(self.manager, bi_kappa, e1 + e2)
-        )
-        if prune_dominated and not symbolic_prune:
-            pairs = prune_dominated_pairs(pairs)
+            if prune_dominated and not symbolic_prune:
+                pairs = prune_dominated_pairs(pairs)
+        if _obs.enabled():
+            _obs.observe(f"bidec.size_pairs.{self.gate}", len(pairs))
         return pairs
 
     def _size_pair_relation(self) -> tuple[int, list[int], list[int]]:
@@ -259,6 +263,23 @@ def prune_dominated_pairs(pairs: Sequence[tuple[int, int]]) -> list[tuple[int, i
     return sorted(set(result))
 
 
+def _record_space(space: PartitionSpace) -> None:
+    """Metrics for one constructed partition space: per-gate build count,
+    ``Bi`` node count, and feasibility (the build *time* lives in the
+    ``bidec.build.<gate>`` span recorded around the construction)."""
+    if not _obs.enabled():
+        return
+    gate = space.gate
+    _obs.inc(f"bidec.spaces.{gate}")
+    _obs.observe(f"bidec.bi_size.{gate}", space.bi_size)
+    _obs.observe(f"bidec.space_vars.{gate}", len(space.variables))
+    _obs.inc(
+        f"bidec.feasible.{gate}"
+        if space.bi != FALSE
+        else f"bidec.infeasible.{gate}"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Scratch-space construction
 # ---------------------------------------------------------------------------
@@ -311,36 +332,39 @@ def or_partition_space(
     if variables is None:
         variables = sorted(interval.support())
     variables = list(variables)
-    scratch = _make_scratch(len(variables), with_y=False)
-    var_map = {orig: scratch.x_vars[i] for i, orig in enumerate(variables)}
-    sm = scratch.manager
-    lower = transfer(interval.manager, interval.lower, sm, var_map)
-    upper = transfer(interval.manager, interval.upper, sm, var_map)
-    forced: list[int] = []
-    if node_budget is None:
-        u1 = _param.parameterized_forall(sm, upper, scratch.x_vars, scratch.c1_vars)
-        u2 = _param.parameterized_forall(sm, upper, scratch.x_vars, scratch.c2_vars)
-    else:
-        u1, skipped1 = _param.parameterized_forall(
-            sm, upper, scratch.x_vars, scratch.c1_vars, node_budget
+    with _obs.span("bidec.build.or"):
+        scratch = _make_scratch(len(variables), with_y=False)
+        var_map = {orig: scratch.x_vars[i] for i, orig in enumerate(variables)}
+        sm = scratch.manager
+        lower = transfer(interval.manager, interval.lower, sm, var_map)
+        upper = transfer(interval.manager, interval.upper, sm, var_map)
+        forced: list[int] = []
+        if node_budget is None:
+            u1 = _param.parameterized_forall(sm, upper, scratch.x_vars, scratch.c1_vars)
+            u2 = _param.parameterized_forall(sm, upper, scratch.x_vars, scratch.c2_vars)
+        else:
+            u1, skipped1 = _param.parameterized_forall(
+                sm, upper, scratch.x_vars, scratch.c1_vars, node_budget
+            )
+            u2, skipped2 = _param.parameterized_forall(
+                sm, upper, scratch.x_vars, scratch.c2_vars, node_budget
+            )
+            forced = skipped1 + skipped2
+        body = sm.apply_or(sm.negate(lower), sm.apply_or(u1, u2))
+        bi = _quantify.forall(sm, body, scratch.x_vars)
+        for c in forced:
+            bi = sm.apply_and(bi, sm.var(c))
+        space = PartitionSpace(
+            gate="or",
+            manager=sm,
+            bi=bi,
+            variables=tuple(variables),
+            c1_vars=tuple(scratch.c1_vars),
+            c2_vars=tuple(scratch.c2_vars),
+            x_vars=tuple(scratch.x_vars),
         )
-        u2, skipped2 = _param.parameterized_forall(
-            sm, upper, scratch.x_vars, scratch.c2_vars, node_budget
-        )
-        forced = skipped1 + skipped2
-    body = sm.apply_or(sm.negate(lower), sm.apply_or(u1, u2))
-    bi = _quantify.forall(sm, body, scratch.x_vars)
-    for c in forced:
-        bi = sm.apply_and(bi, sm.var(c))
-    return PartitionSpace(
-        gate="or",
-        manager=sm,
-        bi=bi,
-        variables=tuple(variables),
-        c1_vars=tuple(scratch.c1_vars),
-        c2_vars=tuple(scratch.c2_vars),
-        x_vars=tuple(scratch.x_vars),
-    )
+    _record_space(space)
+    return space
 
 
 def and_partition_space(
@@ -348,16 +372,19 @@ def and_partition_space(
 ) -> PartitionSpace:
     """AND partitions via the OR space of the complement interval
     (Section 3.3.1 duality); the feasible partitions coincide."""
-    space = or_partition_space(interval.complement(), variables)
-    return PartitionSpace(
-        gate="and",
-        manager=space.manager,
-        bi=space.bi,
-        variables=space.variables,
-        c1_vars=space.c1_vars,
-        c2_vars=space.c2_vars,
-        x_vars=space.x_vars,
-    )
+    with _obs.span("bidec.build.and"):
+        inner = or_partition_space(interval.complement(), variables)
+        space = PartitionSpace(
+            gate="and",
+            manager=inner.manager,
+            bi=inner.bi,
+            variables=inner.variables,
+            c1_vars=inner.c1_vars,
+            c2_vars=inner.c2_vars,
+            x_vars=inner.x_vars,
+        )
+    _record_space(space)
+    return space
 
 
 def xor_partition_space(
@@ -381,41 +408,44 @@ def xor_partition_space(
     if variables is None:
         variables = sorted(interval.support())
     variables = list(variables)
-    scratch = _make_scratch(len(variables), with_y=True)
-    var_map = {orig: scratch.x_vars[i] for i, orig in enumerate(variables)}
-    sm = scratch.manager
-    lower = transfer(interval.manager, interval.lower, sm, var_map)
-    upper = transfer(interval.manager, interval.upper, sm, var_map)
-    xs, ys = scratch.x_vars, scratch.y_vars
-    c1, c2 = scratch.c1_vars, scratch.c2_vars
+    with _obs.span("bidec.build.xor"):
+        scratch = _make_scratch(len(variables), with_y=True)
+        var_map = {orig: scratch.x_vars[i] for i, orig in enumerate(variables)}
+        sm = scratch.manager
+        lower = transfer(interval.manager, interval.lower, sm, var_map)
+        upper = transfer(interval.manager, interval.upper, sm, var_map)
+        xs, ys = scratch.x_vars, scratch.y_vars
+        c1, c2 = scratch.c1_vars, scratch.c2_vars
 
-    # Flip variables exclusive to g1 (not in support(g2)): substitution
-    # keyed on c2.
-    l_excl1 = _param.parameterized_replace(sm, lower, xs, ys, c2)
-    u_excl1 = _param.parameterized_replace(sm, upper, xs, ys, c2)
-    must_differ = sm.apply_and(
-        sm.apply_xor(lower, l_excl1), sm.apply_xor(upper, u_excl1)
-    )
-    # Flip variables exclusive to g2 (keyed on c1), and variables
-    # exclusive to either side (keyed on c1·c2).
-    l_excl2 = _param.parameterized_replace(sm, lower, xs, ys, c1)
-    u_excl2 = _param.parameterized_replace(sm, upper, xs, ys, c1)
-    l_both = _param.parameterized_replace_pair(sm, lower, xs, ys, c1, c2)
-    u_both = _param.parameterized_replace_pair(sm, upper, xs, ys, c1, c2)
-    may_differ = sm.apply_or(
-        sm.apply_xor(u_excl2, u_both), sm.apply_xor(l_excl2, l_both)
-    )
-    condition = sm.implies(must_differ, may_differ)
-    bi = _quantify.forall(sm, condition, xs + ys)
-    return PartitionSpace(
-        gate="xor",
-        manager=sm,
-        bi=bi,
-        variables=tuple(variables),
-        c1_vars=tuple(scratch.c1_vars),
-        c2_vars=tuple(scratch.c2_vars),
-        x_vars=tuple(scratch.x_vars),
-    )
+        # Flip variables exclusive to g1 (not in support(g2)): substitution
+        # keyed on c2.
+        l_excl1 = _param.parameterized_replace(sm, lower, xs, ys, c2)
+        u_excl1 = _param.parameterized_replace(sm, upper, xs, ys, c2)
+        must_differ = sm.apply_and(
+            sm.apply_xor(lower, l_excl1), sm.apply_xor(upper, u_excl1)
+        )
+        # Flip variables exclusive to g2 (keyed on c1), and variables
+        # exclusive to either side (keyed on c1·c2).
+        l_excl2 = _param.parameterized_replace(sm, lower, xs, ys, c1)
+        u_excl2 = _param.parameterized_replace(sm, upper, xs, ys, c1)
+        l_both = _param.parameterized_replace_pair(sm, lower, xs, ys, c1, c2)
+        u_both = _param.parameterized_replace_pair(sm, upper, xs, ys, c1, c2)
+        may_differ = sm.apply_or(
+            sm.apply_xor(u_excl2, u_both), sm.apply_xor(l_excl2, l_both)
+        )
+        condition = sm.implies(must_differ, may_differ)
+        bi = _quantify.forall(sm, condition, xs + ys)
+        space = PartitionSpace(
+            gate="xor",
+            manager=sm,
+            bi=bi,
+            variables=tuple(variables),
+            c1_vars=tuple(scratch.c1_vars),
+            c2_vars=tuple(scratch.c2_vars),
+            x_vars=tuple(scratch.x_vars),
+        )
+    _record_space(space)
+    return space
 
 
 def partition_space(

@@ -21,6 +21,15 @@ Commands
     the SAT miter; ``--sequential`` for the reachable-constrained check).
 ``generate NAME -o OUT``
     Emit one of the benchmark analogs (s344..s9234, seq4..seq9) as BLIF.
+``profile TARGET``
+    Run a workload under full instrumentation and print the phase-time /
+    cache-efficiency table (``TARGET`` is a netlist path or a known
+    benchmark name).
+
+The ``optimize``, ``reach``, ``decompose`` and ``map`` commands accept
+``--profile`` (print the table after the run) and ``--stats-json PATH``
+(write the machine-readable metrics report); either flag turns the
+:mod:`repro.obs` instrumentation on for the run.
 """
 
 from __future__ import annotations
@@ -56,12 +65,74 @@ def _save(network: Network, path: str) -> None:
         save_blif(network, path)
 
 
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable instrumentation when ``--profile``/``--stats-json`` was
+    given (before any manager is built, so cache stats are tracked)."""
+    if getattr(args, "profile", False) or getattr(args, "stats_json", None):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        return True
+    return False
+
+
+def _obs_finish(args: argparse.Namespace, active: bool, **run_info) -> None:
+    """Emit the requested report(s) and switch instrumentation back off."""
+    if not active:
+        return
+    from repro import obs
+
+    obs.disable()
+    report = obs.report()
+    if run_info:
+        report["run"] = run_info
+    if getattr(args, "stats_json", None):
+        obs.write_report(args.stats_json, report)
+        print(f"wrote {args.stats_json}")
+    if getattr(args, "profile", False):
+        print(obs.render_profile(report))
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     network = _load(args.file)
     stats = network.stats()
     print(f"{network.name}:")
     for key, value in stats.items():
         print(f"  {key:>8}: {value}")
+    if args.bdd:
+        from repro.bdd import BDDManager
+        from repro.network.bdd_build import ConeCollapser
+
+        manager = BDDManager()
+        manager.enable_stats()
+        collapser = ConeCollapser(network, manager)
+        skipped = 0
+        for sink in network.combinational_sinks():
+            if sink in network.inputs or sink in network.latches:
+                continue
+            if len(network.cone_inputs(sink)) > args.max_cone_inputs:
+                skipped += 1
+                continue
+            collapser.node_function(sink)
+        print("bdd (collapsed combinational cones):")
+        snapshot = manager.stats_snapshot()
+        for key in ("num_vars", "num_nodes", "unique_size"):
+            print(f"  {key:>16}: {snapshot[key]}")
+        print(f"  {'peak_nodes':>16}: {snapshot['num_nodes']}")
+        for op in ("ite", "and", "xor", "not"):
+            hits = snapshot[f"cache.{op}.hits"]
+            misses = snapshot[f"cache.{op}.misses"]
+            size = snapshot[f"cache.{op}.size"]
+            lookups = hits + misses
+            rate = f"{100 * hits / lookups:5.1f}%" if lookups else "    -"
+            print(
+                f"  {f'cache.{op}':>16}: size={size} hits={hits} "
+                f"misses={misses} rate={rate}"
+            )
+        if skipped:
+            print(f"  (skipped {skipped} cones over "
+                  f"{args.max_cone_inputs} inputs)")
     return 0
 
 
@@ -69,6 +140,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.network import outputs_equal
     from repro.synth import SynthesisOptions, algorithm1
 
+    obs_active = _obs_begin(args)
     network = _load(args.file)
     options = SynthesisOptions(
         use_unreachable_states=not args.no_states,
@@ -87,12 +159,23 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     )
     _save(report.network, args.output)
     print(f"wrote {args.output}")
+    _obs_finish(
+        args,
+        obs_active,
+        command="optimize",
+        input=args.file,
+        literals_before=before["literals"],
+        literals_after=after["literals"],
+        decomposed=report.decomposed(),
+        runtime=report.runtime,
+    )
     return 0
 
 
 def cmd_map(args: argparse.Namespace) -> int:
     from repro.mapping import load_library, map_network
 
+    obs_active = _obs_begin(args)
     network = _load(args.file)
     if args.optimize:
         from repro.synth import algorithm1
@@ -104,12 +187,22 @@ def cmd_map(args: argparse.Namespace) -> int:
         f"area={result.area:.1f} delay={result.delay:.2f} "
         f"gates={result.num_gates}"
     )
+    _obs_finish(
+        args,
+        obs_active,
+        command="map",
+        input=args.file,
+        area=result.area,
+        delay=result.delay,
+        gates=result.num_gates,
+    )
     return 0
 
 
 def cmd_reach(args: argparse.Namespace) -> int:
     from repro.reach import DontCareManager
 
+    obs_active = _obs_begin(args)
     network = _load(args.file)
     manager = DontCareManager(
         network,
@@ -125,7 +218,16 @@ def cmd_reach(args: argparse.Namespace) -> int:
             f"{result.num_states()} states reached in {result.iterations} "
             f"steps ({status}, {result.runtime:.2f}s)"
         )
-    print(f"approx log2(reachable states) = {manager.approximate_log2_states():.2f}")
+    log2_states = manager.approximate_log2_states()
+    print(f"approx log2(reachable states) = {log2_states:.2f}")
+    _obs_finish(
+        args,
+        obs_active,
+        command="reach",
+        input=args.file,
+        partitions=len(manager.partitions),
+        log2_states=log2_states,
+    )
     return 0
 
 
@@ -136,6 +238,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
     from repro.network import ConeCollapser
     from repro.reach import DontCareManager
 
+    obs_active = _obs_begin(args)
     network = _load(args.file)
     signal = args.signal
     if not network.is_signal(signal):
@@ -187,6 +290,8 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             )
     else:
         print("with states:    (no present-state support)")
+    _obs_finish(args, obs_active, command="decompose", input=args.file,
+                signal=signal)
     return 0
 
 
@@ -252,6 +357,78 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    start = time.perf_counter()
+    if Path(args.target).exists():
+        network = _load(args.target)
+        name = Path(args.target).name
+    else:
+        from repro.benchgen import (
+            ISCAS_SPECS,
+            MACRO_SPECS,
+            industrial_analog,
+            iscas_analog,
+        )
+
+        if args.target in ISCAS_SPECS:
+            network = iscas_analog(args.target)
+        elif args.target in MACRO_SPECS:
+            network = industrial_analog(args.target)
+        else:
+            known = sorted(ISCAS_SPECS) + sorted(MACRO_SPECS)
+            print(
+                f"{args.target!r} is neither a file nor a known benchmark; "
+                f"known: {known}",
+                file=sys.stderr,
+            )
+            return 1
+        name = args.target
+    run_info: dict = {"command": "profile", "workload": args.workload,
+                      "target": name}
+    if args.workload == "optimize":
+        from repro.synth import SynthesisOptions, algorithm1
+
+        report = algorithm1(
+            network, SynthesisOptions(time_budget=args.time_budget)
+        )
+        run_info["decomposed"] = report.decomposed()
+        run_info["literals_before"] = network.stats()["literals"]
+        run_info["literals_after"] = report.network.stats()["literals"]
+    elif args.workload == "reach":
+        from repro.reach import DontCareManager
+
+        manager = DontCareManager(network, time_budget=args.time_budget)
+        manager.compute_all()
+        run_info["log2_states"] = manager.approximate_log2_states()
+    elif args.workload == "map":
+        from repro.mapping import load_library, map_network
+
+        result = map_network(network, load_library())
+        run_info["area"] = result.area
+        run_info["delay"] = result.delay
+    else:
+        raise ValueError(f"unknown workload {args.workload!r}")
+    run_info["wall_time"] = time.perf_counter() - start
+    obs.disable()
+    snapshot = obs.report()
+    snapshot["run"] = run_info
+    print(
+        f"profile: {args.workload} on {name} "
+        f"({run_info['wall_time']:.2f}s wall)"
+    )
+    print(obs.render_profile(snapshot))
+    if args.stats_json:
+        obs.write_report(args.stats_json, snapshot)
+        print(f"wrote {args.stats_json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -259,8 +436,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--profile", action="store_true",
+            help="collect metrics and print the phase/cache table",
+        )
+        command.add_argument(
+            "--stats-json", metavar="PATH", default=None,
+            help="collect metrics and write the JSON report to PATH",
+        )
+
     p = sub.add_parser("stats", help="netlist statistics")
     p.add_argument("file")
+    p.add_argument("--bdd", action="store_true",
+                   help="collapse cones and report BDD manager statistics")
+    p.add_argument("--max-cone-inputs", type=int, default=20,
+                   help="skip cones wider than this when collapsing")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("optimize", help="run Algorithm 1")
@@ -270,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable unreachable-state don't cares")
     p.add_argument("--partition-size", type=int, default=16)
     p.add_argument("--time-budget", type=float, default=None)
+    add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("map", help="technology mapping")
@@ -278,19 +470,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("area", "delay"), default="area")
     p.add_argument("--optimize", action="store_true",
                    help="run Algorithm 1 before mapping")
+    add_obs_flags(p)
     p.set_defaults(func=cmd_map)
 
     p = sub.add_parser("reach", help="partitioned reachability analysis")
     p.add_argument("file")
     p.add_argument("--partition-size", type=int, default=16)
     p.add_argument("--time-budget", type=float, default=20.0)
+    add_obs_flags(p)
     p.set_defaults(func=cmd_reach)
 
     p = sub.add_parser("decompose", help="bi-decompose one signal")
     p.add_argument("file")
     p.add_argument("signal")
     p.add_argument("--partition-size", type=int, default=16)
+    add_obs_flags(p)
     p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a workload under instrumentation and print the "
+             "phase-time/cache-efficiency table",
+    )
+    p.add_argument("target", help="netlist path or benchmark name (e.g. s344)")
+    p.add_argument("--workload", choices=("optimize", "reach", "map"),
+                   default="optimize")
+    p.add_argument("--time-budget", type=float, default=None)
+    p.add_argument("--stats-json", metavar="PATH", default=None,
+                   help="also write the JSON report to PATH")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("check", help="equivalence check two netlists")
     p.add_argument("left")

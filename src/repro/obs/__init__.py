@@ -1,0 +1,60 @@
+"""Observability substrate: metrics, phase-scoped tracing and run reports.
+
+Usage pattern::
+
+    from repro import obs
+
+    obs.enable()                       # before building managers
+    with obs.span("myphase"):
+        obs.inc("myfamily.widgets")
+        obs.observe("myfamily.size", 42)
+    report = obs.report()              # JSON-serialisable dict
+
+Everything is a no-op while disabled (the default), so library code is
+instrumented unconditionally.  See :mod:`repro.obs.registry` for the
+data model and :mod:`repro.obs.reporting` for rendering/persistence.
+"""
+
+from repro.obs.registry import (
+    Histogram,
+    Registry,
+    SpanStat,
+    current_span_path,
+    disable,
+    enable,
+    enabled,
+    event,
+    inc,
+    observe,
+    registry,
+    report,
+    reset,
+    scope,
+    set_gauge,
+    span,
+    track_bdd_manager,
+)
+from repro.obs.reporting import cache_efficiency, render_profile, write_report
+
+__all__ = [
+    "Histogram",
+    "Registry",
+    "SpanStat",
+    "cache_efficiency",
+    "current_span_path",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "inc",
+    "observe",
+    "registry",
+    "render_profile",
+    "report",
+    "reset",
+    "scope",
+    "set_gauge",
+    "span",
+    "track_bdd_manager",
+    "write_report",
+]

@@ -1,0 +1,454 @@
+"""Process-wide observability registry: counters, gauges, histograms and
+nestable timed spans.
+
+The registry is **disabled by default** and designed so that instrumented
+code pays near-zero cost when it stays disabled: every public recording
+function starts with a single module-flag check and returns immediately,
+and :func:`span` hands back a shared no-op context manager.  Hot loops
+that cannot afford even a function call per event (the BDD operator
+recursions) keep local integer counters instead and are aggregated into
+the registry at report time — see ``repro.bdd.manager``.
+
+Metric names are dotted paths whose first segment is the *family*
+(``bdd``, ``reach``, ``bidec``, ``algorithm1``, ...); :func:`report`
+groups the snapshot by family so downstream tooling can diff one
+subsystem at a time.  Span timings are keyed by the full nesting path
+(``algorithm1.run/reach.fixpoint``), giving a phase-scoped profile; the
+span stack is thread-local so concurrent workers do not corrupt each
+other's paths.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+import weakref
+from collections import deque
+from typing import Any, Iterable, Iterator, Optional
+
+#: Maximum number of retained events (oldest are dropped first).
+MAX_EVENTS = 1024
+
+_enabled = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently collected."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn metric collection on (globally, process-wide).
+
+    Enable *before* constructing :class:`~repro.bdd.manager.BDDManager`
+    instances whose cache statistics should be tracked — managers decide
+    at construction time whether to keep per-operation counters.
+    """
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn metric collection off; collected data is kept until
+    :func:`reset`."""
+    global _enabled
+    _enabled = False
+
+
+class scope:
+    """Context manager that enables collection for a block and restores
+    the previous state on exit::
+
+        with obs.scope():
+            run_workload()
+        report = obs.report()
+    """
+
+    def __init__(self, on: bool = True) -> None:
+        self._on = on
+        self._previous = False
+
+    def __enter__(self) -> "scope":
+        global _enabled
+        self._previous = _enabled
+        _enabled = self._on
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        global _enabled
+        _enabled = self._previous
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Metric containers
+# ---------------------------------------------------------------------------
+
+
+class Histogram:
+    """Streaming distribution summary: count/total/min/max plus sparse
+    power-of-two buckets (bucket key ``e`` counts values in
+    ``(2^(e-1), 2^e]``; non-positive values land in bucket ``0``)."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = max(0, math.ceil(math.log2(value))) if value > 0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def as_dict(self) -> dict[str, Any]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class SpanStat:
+    """Aggregate of all completions of one span path."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if self.min is None or elapsed < self.min:
+            self.min = elapsed
+        if self.max is None or elapsed > self.max:
+            self.max = elapsed
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else 0.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+class Registry:
+    """Holds every collected metric.  One process-wide instance exists
+    (module functions below delegate to it); tests may build private
+    instances."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._epoch = time.perf_counter()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.spans: dict[str, SpanStat] = {}
+        self.events: deque[dict[str, Any]] = deque(maxlen=MAX_EVENTS)
+        # BDD managers keep local counters (see repro.bdd.manager); live
+        # ones are aggregated at report time, finalized ones flush their
+        # totals here so no work is lost when scratch managers die.
+        self._bdd_live: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._bdd_flushed: dict[str, int] = {}
+        self._bdd_total_managers = 0
+        self._bdd_peak_nodes = 0
+
+    # -- recording ------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def record_span(self, path: str, elapsed: float) -> None:
+        with self._lock:
+            stat = self.spans.get(path)
+            if stat is None:
+                stat = self.spans[path] = SpanStat()
+            stat.record(elapsed)
+
+    def event(self, name: str, **fields: Any) -> None:
+        entry = {"name": name, "t": round(time.perf_counter() - self._epoch, 6)}
+        entry.update(fields)
+        with self._lock:
+            self.events.append(entry)
+
+    # -- span stack -----------------------------------------------------
+
+    def span_stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_span_path(self) -> str:
+        return "/".join(self.span_stack())
+
+    # -- BDD manager aggregation ----------------------------------------
+
+    def track_bdd_manager(self, manager: Any) -> None:
+        """Track a manager's local cache statistics.  The manager must
+        expose ``stats`` (an object with ``as_dict()``) and
+        ``num_nodes``; its final totals are flushed when it is garbage
+        collected."""
+        stats = manager.stats
+        if stats is None:
+            return
+        with self._lock:
+            self._bdd_live.add(manager)
+            self._bdd_total_managers += 1
+        weakref.finalize(manager, self._flush_bdd_stats, stats)
+
+    def _flush_bdd_stats(self, stats: Any) -> None:
+        snapshot = stats.as_dict()
+        with self._lock:
+            for key, value in snapshot.items():
+                self._bdd_flushed[key] = self._bdd_flushed.get(key, 0) + value
+            # No garbage collection in this engine, so a dead manager's
+            # peak node count is its insert count plus the two terminals.
+            peak = snapshot.get("unique.inserts", 0) + 2
+            if peak > self._bdd_peak_nodes:
+                self._bdd_peak_nodes = peak
+
+    def _bdd_snapshot(self) -> tuple[dict[str, float], dict[str, float]]:
+        """Aggregated (counters, gauges) of every tracked manager, dead
+        or alive, namespaced under ``bdd.``."""
+        with self._lock:
+            totals = dict(self._bdd_flushed)
+            live = list(self._bdd_live)
+            total_managers = self._bdd_total_managers
+            peak = self._bdd_peak_nodes
+        # ``peak`` is the largest node count any *single* manager reached
+        # (dead or alive); ``live_nodes`` sums across live managers, so
+        # the two are not ordered relative to each other.
+        live_nodes = 0
+        live_unique = 0
+        live_cache = 0
+        for manager in live:
+            stats = manager.stats
+            if stats is None:
+                continue
+            for key, value in stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+            live_nodes += manager.num_nodes
+            live_unique += manager.unique_size
+            live_cache += sum(manager.cache_sizes().values())
+            if manager.num_nodes > peak:
+                peak = manager.num_nodes
+        counters = {f"bdd.{key}": value for key, value in sorted(totals.items())}
+        gauges = {
+            "bdd.managers.live": len(live),
+            "bdd.managers.total": total_managers,
+            "bdd.nodes.live": live_nodes,
+            "bdd.nodes.peak": peak,
+            "bdd.unique.live": live_unique,
+            "bdd.cache.entries.live": live_cache,
+        }
+        if total_managers == 0:
+            return {}, {}
+        return counters, gauges
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serialisable snapshot of everything collected so far,
+        grouped by metric family under ``"families"``."""
+        bdd_counters, bdd_gauges = self._bdd_snapshot()
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            histograms = {k: h.as_dict() for k, h in self.histograms.items()}
+            spans = {k: s.as_dict() for k, s in self.spans.items()}
+            events = list(self.events)
+        counters.update(bdd_counters)
+        gauges.update(bdd_gauges)
+        families: dict[str, dict[str, Any]] = {}
+
+        def bucket(kind: str, name: str, value: Any, family_of: str) -> None:
+            family = families.setdefault(
+                family_of, {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+            )
+            family[kind][name] = value
+
+        for name, value in sorted(counters.items()):
+            bucket("counters", name, value, name.split(".", 1)[0])
+        for name, value in sorted(gauges.items()):
+            bucket("gauges", name, value, name.split(".", 1)[0])
+        for name, value in sorted(histograms.items()):
+            bucket("histograms", name, value, name.split(".", 1)[0])
+        for path, value in sorted(spans.items()):
+            leaf = path.split("/")[0]
+            bucket("spans", path, value, leaf.split(".", 1)[0])
+        return {
+            "version": 1,
+            "enabled": _enabled,
+            "generated_at": time.time(),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": spans,
+            "events": events,
+            "families": families,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+            self.spans.clear()
+            self.events.clear()
+            self._bdd_live = weakref.WeakSet()
+            self._bdd_flushed.clear()
+            self._bdd_total_managers = 0
+            self._bdd_peak_nodes = 0
+            self._epoch = time.perf_counter()
+
+
+_REGISTRY = Registry()
+
+
+def registry() -> Registry:
+    """The process-wide registry instance."""
+    return _REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class _SpanHandle:
+    __slots__ = ("name", "path", "start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.path = name
+        self.start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        stack = _REGISTRY.span_stack()
+        stack.append(self.name)
+        self.path = "/".join(stack)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        elapsed = time.perf_counter() - self.start
+        stack = _REGISTRY.span_stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        _REGISTRY.record_span(self.path, elapsed)
+        return False
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str) -> Any:
+    """Timed span context manager.  Nesting is recorded: the aggregation
+    key is the ``/``-joined path of active span names on this thread."""
+    if not _enabled:
+        return _NULL_SPAN
+    return _SpanHandle(name)
+
+
+def current_span_path() -> str:
+    """The ``/``-joined path of active spans on the calling thread."""
+    return _REGISTRY.current_span_path()
+
+
+# ---------------------------------------------------------------------------
+# Module-level recording facade (all no-ops while disabled)
+# ---------------------------------------------------------------------------
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name``."""
+    if not _enabled:
+        return
+    _REGISTRY.inc(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (last write wins)."""
+    if not _enabled:
+        return
+    _REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name``."""
+    if not _enabled:
+        return
+    _REGISTRY.observe(name, value)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Append a timestamped event (bounded buffer of :data:`MAX_EVENTS`)."""
+    if not _enabled:
+        return
+    _REGISTRY.event(name, **fields)
+
+
+def track_bdd_manager(manager: Any) -> None:
+    """Register a BDD manager for cache-statistics aggregation."""
+    if not _enabled:
+        return
+    _REGISTRY.track_bdd_manager(manager)
+
+
+def report() -> dict[str, Any]:
+    """Snapshot of everything collected so far (works while disabled:
+    returns whatever was collected before the switch-off)."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Drop all collected data (the enabled flag is untouched)."""
+    _REGISTRY.reset()

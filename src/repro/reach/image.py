@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro import obs as _obs
 from repro.bdd import count as _count
 from repro.bdd import quantify as _quantify
 from repro.bdd.compose import rename
@@ -41,6 +42,7 @@ def image_early(
     immediately, keeping intermediate products small.
     """
     manager = ts.manager
+    track = _obs.enabled()
     to_quantify = set(ts.ps_vars()) | set(ts.free_vars())
     supports = [_count.support(manager, part) for part in parts]
     current = states
@@ -60,8 +62,20 @@ def image_early(
         if ready:
             current = _quantify.exists(manager, current, ready)
             to_quantify -= ready
+            if track:
+                # The quantification schedule: how many variables leave
+                # the product at each fold position, and how big the
+                # intermediate product was when they did.
+                _obs.inc("reach.image.early_quantified", len(ready))
+                _obs.observe("reach.image.schedule_position", index)
+                _obs.observe(
+                    "reach.image.product_size",
+                    _count.dag_size(manager, current),
+                )
     if to_quantify:
         current = _quantify.exists(manager, current, to_quantify)
+        if track:
+            _obs.inc("reach.image.late_quantified", len(to_quantify))
     return rename(manager, current, ts.ns_to_ps())
 
 

@@ -8,6 +8,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs as _obs
 from repro.bdd import count as _count
 from repro.bdd.manager import FALSE
 from repro.reach.image import image_early, image_monolithic
@@ -69,33 +70,51 @@ def forward_reachable(
     ``converged``.
     """
     manager = ts.manager
+    track = _obs.enabled()
     start = time.perf_counter()
-    if strategy == "monolithic":
-        relation = ts.monolithic_relation()
-        step = lambda frontier: image_monolithic(ts, frontier, relation)
-    elif strategy == "early":
-        parts = ts.part_relations()
-        step = lambda frontier: image_early(ts, frontier, parts)
-    else:
-        raise ValueError(f"unknown image strategy {strategy!r}")
-    reached = ts.initial_states()
-    frontier = reached
-    iterations = 0
-    converged = True
-    while frontier != FALSE:
-        if max_iterations is not None and iterations >= max_iterations:
-            converged = False
-            break
-        if (
-            time_budget is not None
-            and time.perf_counter() - start > time_budget
-        ):
-            converged = False
-            break
-        next_states = step(frontier)
-        frontier = manager.apply_and(next_states, manager.negate(reached))
-        reached = manager.apply_or(reached, frontier)
-        iterations += 1
+    with _obs.span("reach.fixpoint"):
+        if strategy == "monolithic":
+            relation = ts.monolithic_relation()
+            step = lambda frontier: image_monolithic(ts, frontier, relation)
+        elif strategy == "early":
+            parts = ts.part_relations()
+            step = lambda frontier: image_early(ts, frontier, parts)
+            if track:
+                _obs.observe("reach.relation.parts", len(parts))
+        else:
+            raise ValueError(f"unknown image strategy {strategy!r}")
+        reached = ts.initial_states()
+        frontier = reached
+        iterations = 0
+        converged = True
+        while frontier != FALSE:
+            if max_iterations is not None and iterations >= max_iterations:
+                converged = False
+                break
+            if (
+                time_budget is not None
+                and time.perf_counter() - start > time_budget
+            ):
+                converged = False
+                break
+            image_start = time.perf_counter()
+            next_states = step(frontier)
+            frontier = manager.apply_and(next_states, manager.negate(reached))
+            reached = manager.apply_or(reached, frontier)
+            iterations += 1
+            if track:
+                _obs.inc("reach.iterations")
+                _obs.observe(
+                    "reach.image.time", time.perf_counter() - image_start
+                )
+                _obs.observe(
+                    "reach.frontier.size", _count.dag_size(manager, frontier)
+                )
+    if track:
+        _obs.inc("reach.runs")
+        _obs.inc(f"reach.strategy.{strategy}")
+        _obs.inc("reach.converged" if converged else "reach.cutoff")
+        _obs.observe("reach.reached.size", _count.dag_size(manager, reached))
     return ReachabilityResult(
         ts=ts,
         reached=reached,

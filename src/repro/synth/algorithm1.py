@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import obs as _obs
 from repro.bdd.manager import BDDManager, FALSE
 from repro.bidec.recursive import DecTree, decompose_recursive
 from repro.intervals import Interval
@@ -105,6 +106,22 @@ def algorithm1(
     network: Network, options: Optional[SynthesisOptions] = None
 ) -> SynthesisReport:
     """Run the Algorithm 1 optimisation loop on a copy of ``network``."""
+    with _obs.span("algorithm1.run"):
+        report = _algorithm1_impl(network, options)
+    if _obs.enabled():
+        _obs.inc("algorithm1.runs")
+        before = network.stats()
+        after = report.network.stats()
+        _obs.set_gauge("algorithm1.literals.before", before["literals"])
+        _obs.set_gauge("algorithm1.literals.after", after["literals"])
+        _obs.set_gauge("algorithm1.and_inv.before", before["and_inv"])
+        _obs.set_gauge("algorithm1.and_inv.after", after["and_inv"])
+    return report
+
+
+def _algorithm1_impl(
+    network: Network, options: Optional[SynthesisOptions]
+) -> SynthesisReport:
     options = options or SynthesisOptions()
     start = time.perf_counter()
     source = network.copy()
@@ -152,51 +169,56 @@ def algorithm1(
         ):
             _copy_cone(source, rebuilt, sink)
             signal_map[sink] = sink
-            records.append(SignalRecord(sink, 0, "copied"))
+            records.append(_record(SignalRecord(sink, 0, "copied")))
             continue
         cone_inputs = source.cone_inputs(sink)
         if len(cone_inputs) > options.max_cone_inputs:
             _copy_cone(source, rebuilt, sink)
             signal_map[sink] = sink
             records.append(
-                SignalRecord(sink, len(cone_inputs), "kept-large")
+                _record(SignalRecord(sink, len(cone_inputs), "kept-large"))
             )
             continue
-        f = collapser.node_function(sink)
+        with _obs.span("algorithm1.collapse"):
+            f = collapser.node_function(sink)
         unreachable = FALSE
         if dc_manager is not None:
             ps_support = {
                 name for name in cone_inputs if name in source.latches
             }
             if ps_support:
-                unreachable = dc_manager.unreachable_for(
-                    ps_support, collapser.manager, collapser.var_of
-                )
+                with _obs.span("algorithm1.dontcare"):
+                    unreachable = dc_manager.unreachable_for(
+                        ps_support, collapser.manager, collapser.var_of
+                    )
         interval = Interval.with_dont_cares(collapser.manager, f, unreachable)
-        if options.sharing_choice:
-            from repro.bidec.recursive import decompose_recursive_shared
+        with _obs.span("algorithm1.decompose"):
+            if options.sharing_choice:
+                from repro.bidec.recursive import decompose_recursive_shared
 
-            tree = decompose_recursive_shared(
-                interval,
-                share_table,
-                max_support=options.max_support,
-                gates=options.gates,
-            )
-        else:
-            tree = decompose_recursive(
-                interval,
-                max_support=options.max_support,
-                gates=options.gates,
-                objective=options.objective,
-            )
+                tree = decompose_recursive_shared(
+                    interval,
+                    share_table,
+                    max_support=options.max_support,
+                    gates=options.gates,
+                )
+            else:
+                tree = decompose_recursive(
+                    interval,
+                    max_support=options.max_support,
+                    gates=options.gates,
+                    objective=options.objective,
+                )
         original_cost = _cone_literals(source, sink)
         tree_cost = tree.cost()
         if tree_cost > options.acceptance_ratio * max(original_cost, 1):
             _copy_cone(source, rebuilt, sink)
             signal_map[sink] = sink
             records.append(
-                SignalRecord(
-                    sink, len(cone_inputs), "kept-cost", tree_cost, original_cost
+                _record(
+                    SignalRecord(
+                        sink, len(cone_inputs), "kept-cost", tree_cost, original_cost
+                    )
                 )
             )
             continue
@@ -204,20 +226,24 @@ def algorithm1(
             var: name for name, var in collapser.var_of.items()
         }
         use_sharing = options.enable_sharing or options.sharing_choice
-        new_signal = instantiate_dectree(
-            rebuilt,
-            tree,
-            var_to_signal,
-            sink,
-            share_table if use_sharing else None,
-        )
+        with _obs.span("algorithm1.instantiate"):
+            new_signal = instantiate_dectree(
+                rebuilt,
+                tree,
+                var_to_signal,
+                sink,
+                share_table if use_sharing else None,
+            )
         # Keep the sink's own name alive (primary-output names are part
         # of the interface; sweep squeezes the alias out elsewhere).
         rebuilt.add_node(sink, "buf", [new_signal])
         signal_map[sink] = sink
         records.append(
-            SignalRecord(
-                sink, len(cone_inputs), "decomposed", tree_cost, original_cost
+            _record(
+                SignalRecord(
+                    sink, len(cone_inputs), "decomposed", tree_cost, original_cost
+                ),
+                tree,
             )
         )
 
@@ -238,6 +264,47 @@ def algorithm1(
         latch_cleanup=cleanup_stats,
         runtime=time.perf_counter() - start,
     )
+
+
+def _record(record: SignalRecord, tree: Optional[DecTree] = None) -> SignalRecord:
+    """Publish one per-signal outcome to the obs registry (identity
+    passthrough when instrumentation is off).
+
+    Decomposed signals additionally contribute the accepted gate mix
+    (``algorithm1.gates.or/and/xor``) and the cost trajectory, and every
+    signal leaves an event so the per-signal literal/area trajectory can
+    be replayed from a report.
+    """
+    if not _obs.enabled():
+        return record
+    action = record.action.replace("-", "_")
+    _obs.inc("algorithm1.signals")
+    _obs.inc(f"algorithm1.signals.{action}")
+    if record.cone_inputs:
+        _obs.observe("algorithm1.cone.inputs", record.cone_inputs)
+    if record.tree_cost is not None:
+        _obs.observe("algorithm1.tree.cost", record.tree_cost)
+    if record.original_cost is not None:
+        _obs.observe("algorithm1.original.cost", record.original_cost)
+    if tree is not None:
+        gate_mix: dict[str, int] = {}
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            if node.op != "leaf":
+                gate_mix[node.op] = gate_mix.get(node.op, 0) + 1
+                stack.extend(node.children)
+        for gate, count in gate_mix.items():
+            _obs.inc(f"algorithm1.gates.{gate}", count)
+    _obs.event(
+        "algorithm1.signal",
+        signal=record.signal,
+        action=record.action,
+        cone_inputs=record.cone_inputs,
+        tree_cost=record.tree_cost,
+        original_cost=record.original_cost,
+    )
+    return record
 
 
 class _InductionAdapter:

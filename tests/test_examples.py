@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs and prints what it promises."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -50,3 +51,15 @@ class TestExamples:
     def test_custom_library(self):
         out = run_example("custom_library.py")
         assert "mcnc-like" in out and "verified equivalent" in out
+
+    def test_profiling(self, tmp_path):
+        report = tmp_path / "report.json"
+        out = run_example("profiling.py", "s344", str(report))
+        assert "phase timings" in out
+        assert "BDD cache efficiency" in out
+        assert "algorithm1.run wall time" in out
+        assert "metric families" in out
+        data = json.loads(report.read_text())
+        assert data["run"]["bench"] == "s344"
+        for family in ("bdd", "bidec", "algorithm1"):
+            assert family in data["families"]

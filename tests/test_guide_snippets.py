@@ -83,3 +83,19 @@ class TestGuideSnippets:
         )
         assert outputs_equal(net, report.network, cycles=24)
         assert report.runtime >= 0
+
+    def test_observability_snippet(self):
+        from repro import obs
+        from repro.bdd import BDDManager
+
+        obs.reset()
+        with obs.scope():
+            m = BDDManager(4)
+            f = m.apply_and(m.var(0), m.var(1))
+            m.apply_and(m.var(0), m.var(1))
+        report = obs.report()
+        assert report["counters"]["bdd.cache.and.hits"] >= 1
+        assert "bdd" in report["families"]
+        assert "BDD cache efficiency" in obs.render_profile(report)
+        assert f
+        obs.reset()
