@@ -7,7 +7,7 @@ counting, builders for symmetric/arithmetic relations, and a wrapped
 :class:`~repro.bdd.function.Function` facade.
 """
 
-from repro.bdd.manager import BDDManager, FALSE, TRUE, iter_nodes
+from repro.bdd.manager import BDDManager, FALSE, TRUE, VarCube, iter_nodes
 from repro.bdd.function import Function, function_vars
 from repro.bdd.quantify import exists, forall, and_exists, abstract_interval
 from repro.bdd.compose import compose, vector_compose, rename, transfer
@@ -38,6 +38,7 @@ __all__ = [
     "BDDManager",
     "FALSE",
     "TRUE",
+    "VarCube",
     "Function",
     "function_vars",
     "iter_nodes",

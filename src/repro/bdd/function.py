@@ -17,7 +17,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.bdd import count as _count
 from repro.bdd import quantify as _quantify
-from repro.bdd.manager import BDDManager, FALSE, TRUE
+from repro.bdd.manager import BDDManager, FALSE, TRUE, VarCube
 
 
 class Function:
@@ -110,21 +110,31 @@ class Function:
 
     # -- quantification ------------------------------------------------
 
-    def exists(self, variables: Iterable["Function | int"]) -> "Function":
+    def exists(
+        self, variables: "Iterable[Function | int] | VarCube"
+    ) -> "Function":
         """Existential abstraction of the given variables."""
         return Function(
             self.manager,
             _quantify.exists(self.manager, self.node, self._variable_indices(variables)),
         )
 
-    def forall(self, variables: Iterable["Function | int"]) -> "Function":
+    def forall(
+        self, variables: "Iterable[Function | int] | VarCube"
+    ) -> "Function":
         """Universal abstraction of the given variables."""
         return Function(
             self.manager,
             _quantify.forall(self.manager, self.node, self._variable_indices(variables)),
         )
 
-    def _variable_indices(self, variables: Iterable["Function | int"]) -> list[int]:
+    def _variable_indices(
+        self, variables: "Iterable[Function | int] | VarCube"
+    ) -> "list[int] | VarCube":
+        if isinstance(variables, VarCube):
+            # Already interned: hand it straight to the quantifier so the
+            # persistent (node, cube_id) caches key on the same cube.
+            return variables
         indices = []
         for item in variables:
             if isinstance(item, Function):

@@ -3,9 +3,15 @@
 This module implements a reduced ordered BDD (ROBDD) package from scratch:
 a shared unique table, the generic ``ite`` operator, and specialised binary
 operators (AND, OR, XOR) with operation caches.  Nodes are plain integers
-indexing into parallel arrays, which keeps the inner recursion cheap; the
+indexing into parallel arrays; the
 :class:`~repro.bdd.function.Function` wrapper offers an operator-overloaded
 facade on top of this integer API.
+
+The operator cores are *iterative*: each runs an explicit work stack
+instead of recursing, so chain-shaped BDDs thousands of levels deep
+neither pay per-frame Python call overhead nor hit the interpreter
+recursion limit.  Hot loops bind the node arrays and caches to locals
+and inline the unique-table lookup (`_mk`) into the reduce step.
 
 Conventions
 -----------
@@ -22,7 +28,7 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import FrozenSet, Iterable, Iterator, Optional, Sequence
 
 from repro import obs as _obs
 
@@ -34,11 +40,41 @@ FALSE = 0
 TRUE = 1
 
 
+class VarCube:
+    """An interned set of quantification variables.
+
+    Quantification results are cached at the manager level under
+    ``(node, cube_id)`` keys; interning the variable set once gives every
+    repeat of ``∃x f`` / ``∀x f`` a stable small integer to key on.
+    Obtain instances through :meth:`BDDManager.intern_cube` — identity
+    matters, do not construct these directly.
+    """
+
+    __slots__ = ("cube_id", "vars", "max_level")
+
+    def __init__(self, cube_id: int, vars: FrozenSet[int], max_level: int) -> None:
+        self.cube_id = cube_id
+        self.vars = vars
+        self.max_level = max_level
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vars)
+
+    def __len__(self) -> int:
+        return len(self.vars)
+
+    def __contains__(self, var: int) -> bool:
+        return var in self.vars
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VarCube #{self.cube_id} vars={sorted(self.vars)}>"
+
+
 class ManagerStats:
     """Local per-manager instrumentation counters.
 
     Kept as plain slotted integers (not :mod:`repro.obs` calls) because
-    the operator recursions are the hottest code in the package; the obs
+    the operator cores are the hottest code in the package; the obs
     registry aggregates these objects at report time instead.  ``None``
     on uninstrumented managers, so the per-operation cost while disabled
     is a single attribute check.
@@ -49,10 +85,18 @@ class ManagerStats:
         "ite_misses",
         "and_hits",
         "and_misses",
+        "or_hits",
+        "or_misses",
         "xor_hits",
         "xor_misses",
         "not_hits",
         "not_misses",
+        "exists_hits",
+        "exists_misses",
+        "forall_hits",
+        "forall_misses",
+        "and_exists_hits",
+        "and_exists_misses",
         "inserts",
         "cache_clears",
         "cache_evicted",
@@ -69,10 +113,18 @@ class ManagerStats:
             "cache.ite.misses": self.ite_misses,
             "cache.and.hits": self.and_hits,
             "cache.and.misses": self.and_misses,
+            "cache.or.hits": self.or_hits,
+            "cache.or.misses": self.or_misses,
             "cache.xor.hits": self.xor_hits,
             "cache.xor.misses": self.xor_misses,
             "cache.not.hits": self.not_hits,
             "cache.not.misses": self.not_misses,
+            "cache.exists.hits": self.exists_hits,
+            "cache.exists.misses": self.exists_misses,
+            "cache.forall.hits": self.forall_hits,
+            "cache.forall.misses": self.forall_misses,
+            "cache.and_exists.hits": self.and_exists_hits,
+            "cache.and_exists.misses": self.and_exists_misses,
             "unique.inserts": self.inserts,
             "cache.clears": self.cache_clears,
             "cache.evicted": self.cache_evicted,
@@ -101,8 +153,16 @@ class BDDManager:
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
         self._and_cache: dict[tuple[int, int], int] = {}
+        self._or_cache: dict[tuple[int, int], int] = {}
         self._xor_cache: dict[tuple[int, int], int] = {}
         self._not_cache: dict[int, int] = {}
+        # Persistent quantification caches, keyed by (node, cube_id) —
+        # see repro.bdd.quantify.  Interned cubes live for the manager's
+        # lifetime (bounded by the number of distinct variable sets).
+        self._exists_cache: dict[tuple[int, int], int] = {}
+        self._forall_cache: dict[tuple[int, int], int] = {}
+        self._and_exists_cache: dict[tuple[int, int, int], int] = {}
+        self._cube_table: dict[FrozenSet[int], VarCube] = {}
         self._var_names: list[str] = []
         self._name_to_var: dict[str, int] = {}
         self._stats: Optional[ManagerStats] = None
@@ -135,12 +195,17 @@ class BDDManager:
         return len(self._unique)
 
     def cache_sizes(self) -> dict[str, int]:
-        """Current entry counts of the four operation caches."""
+        """Current entry counts of the operation and quantification
+        caches."""
         return {
             "ite": len(self._ite_cache),
             "and": len(self._and_cache),
+            "or": len(self._or_cache),
             "xor": len(self._xor_cache),
             "not": len(self._not_cache),
+            "exists": len(self._exists_cache),
+            "forall": len(self._forall_cache),
+            "and_exists": len(self._and_exists_cache),
         }
 
     def stats_snapshot(self) -> dict[str, int]:
@@ -213,6 +278,27 @@ class BDDManager:
         return self.var(var) if positive else self.nvar(var)
 
     # ------------------------------------------------------------------
+    # Quantification cubes
+    # ------------------------------------------------------------------
+
+    def intern_cube(self, variables: "Iterable[int] | VarCube") -> VarCube:
+        """Intern a set of variables as a :class:`VarCube`.
+
+        The same variable set always maps to the same cube object (and
+        ``cube_id``), which is what makes the persistent quantification
+        caches shareable across calls.  Passing an existing cube returns
+        it unchanged.
+        """
+        if isinstance(variables, VarCube):
+            return variables
+        key = frozenset(variables)
+        cube = self._cube_table.get(key)
+        if cube is None:
+            cube = VarCube(len(self._cube_table), key, max(key) if key else -1)
+            self._cube_table[key] = cube
+        return cube
+
+    # ------------------------------------------------------------------
     # Node structure access
     # ------------------------------------------------------------------
 
@@ -247,7 +333,9 @@ class BDDManager:
 
     def _mk(self, level: int, lo: int, hi: int) -> int:
         """Find-or-create the node ``(level, lo, hi)`` (the unique-table
-        lookup that enforces canonicity)."""
+        lookup that enforces canonicity).  The operator cores inline this
+        logic; out-of-line callers (builders, compose, quantify) use this
+        method."""
         if lo == hi:
             return lo
         key = (level, lo, hi)
@@ -263,8 +351,17 @@ class BDDManager:
         return node
 
     # ------------------------------------------------------------------
-    # Boolean operators
+    # Boolean operators (iterative explicit-stack cores)
     # ------------------------------------------------------------------
+    #
+    # Each core is a post-order walk driven by two explicit stacks:
+    # ``tasks`` holds tagged frames (tag 0 = expand a subproblem, higher
+    # tags = reduce with children's results), ``results`` accumulates
+    # one value per finished subproblem.  Expanding pushes the reduce
+    # frame first, then the hi and lo children, so children complete
+    # before their reduce frame pops.  Node arrays, the unique table and
+    # the op cache are bound to locals, and the ``_mk`` unique-table
+    # lookup is fused into the reduce step.
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f & g | ~f & h``.
@@ -283,44 +380,150 @@ class BDDManager:
             return f
         if g == FALSE and h == TRUE:
             return self.negate(f)
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
+        stats = self._stats
+        cache = self._ite_cache
+        cached = cache.get((f, g, h))
         if cached is not None:
-            if self._stats is not None:
-                self._stats.ite_hits += 1
+            if stats is not None:
+                stats.ite_hits += 1
             return cached
-        if self._stats is not None:
-            self._stats.ite_misses += 1
-        level_f = self._level[f]
-        level_g = self._level[g]
-        level_h = self._level[h]
-        top = min(level_f, level_g, level_h)
-        f0, f1 = (self._lo[f], self._hi[f]) if level_f == top else (f, f)
-        g0, g1 = (self._lo[g], self._hi[g]) if level_g == top else (g, g)
-        h0, h1 = (self._lo[h], self._hi[h]) if level_h == top else (h, h)
-        lo = self.ite(f0, g0, h0)
-        hi = self.ite(f1, g1, h1)
-        result = self._mk(top, lo, hi)
-        self._ite_cache[key] = result
-        return result
+        level = self._level
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique = self._unique
+        negate = self.negate
+        tasks: list[tuple] = [(0, f, g, h)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                _, f, g, h = frame
+                if f == TRUE:
+                    rpush(g)
+                    continue
+                if f == FALSE:
+                    rpush(h)
+                    continue
+                if g == h:
+                    rpush(g)
+                    continue
+                if g == TRUE and h == FALSE:
+                    rpush(f)
+                    continue
+                if g == FALSE and h == TRUE:
+                    rpush(negate(f))
+                    continue
+                key = (f, g, h)
+                cached = cache.get(key)
+                if cached is not None:
+                    if stats is not None:
+                        stats.ite_hits += 1
+                    rpush(cached)
+                    continue
+                if stats is not None:
+                    stats.ite_misses += 1
+                lf = level[f]
+                lg = level[g]
+                lh = level[h]
+                top = lf
+                if lg < top:
+                    top = lg
+                if lh < top:
+                    top = lh
+                if lf == top:
+                    f0 = lo_arr[f]
+                    f1 = hi_arr[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    g0 = lo_arr[g]
+                    g1 = hi_arr[g]
+                else:
+                    g0 = g1 = g
+                if lh == top:
+                    h0 = lo_arr[h]
+                    h1 = hi_arr[h]
+                else:
+                    h0 = h1 = h
+                push((1, key, top))
+                push((0, f1, g1, h1))
+                push((0, f0, g0, h0))
+            else:
+                _, key, top = frame
+                hi = results.pop()
+                lo = results[-1]
+                if lo == hi:
+                    node = lo
+                else:
+                    ukey = (top, lo, hi)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(level)
+                        level.append(top)
+                        lo_arr.append(lo)
+                        hi_arr.append(hi)
+                        unique[ukey] = node
+                        if stats is not None:
+                            stats.inserts += 1
+                cache[key] = node
+                results[-1] = node
+        return results[0]
 
     def negate(self, f: int) -> int:
         """Complement ``~f``."""
         if f <= 1:
             return 1 - f
-        cached = self._not_cache.get(f)
+        stats = self._stats
+        cache = self._not_cache
+        cached = cache.get(f)
         if cached is not None:
-            if self._stats is not None:
-                self._stats.not_hits += 1
+            if stats is not None:
+                stats.not_hits += 1
             return cached
-        if self._stats is not None:
-            self._stats.not_misses += 1
-        result = self._mk(
-            self._level[f], self.negate(self._lo[f]), self.negate(self._hi[f])
-        )
-        self._not_cache[f] = result
-        self._not_cache[result] = f
-        return result
+        level = self._level
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique = self._unique
+        tasks: list[tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            tag, n = tasks.pop()
+            if tag == 0:
+                if n <= 1:
+                    rpush(1 - n)
+                    continue
+                cached = cache.get(n)
+                if cached is not None:
+                    if stats is not None:
+                        stats.not_hits += 1
+                    rpush(cached)
+                    continue
+                if stats is not None:
+                    stats.not_misses += 1
+                push((1, n))
+                push((0, hi_arr[n]))
+                push((0, lo_arr[n]))
+            else:
+                hi = results.pop()
+                lo = results[-1]
+                ukey = (level[n], lo, hi)
+                node = unique.get(ukey)
+                if node is None:
+                    node = len(level)
+                    level.append(level[n])
+                    lo_arr.append(lo)
+                    hi_arr.append(hi)
+                    unique[ukey] = node
+                    if stats is not None:
+                        stats.inserts += 1
+                cache[n] = node
+                cache[node] = n
+                results[-1] = node
+        return results[0]
 
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction ``f & g``."""
@@ -334,26 +537,186 @@ class BDDManager:
             return f
         if f > g:
             f, g = g, f
-        key = (f, g)
-        cached = self._and_cache.get(key)
+        stats = self._stats
+        cache = self._and_cache
+        cached = cache.get((f, g))
         if cached is not None:
-            if self._stats is not None:
-                self._stats.and_hits += 1
+            if stats is not None:
+                stats.and_hits += 1
             return cached
-        if self._stats is not None:
-            self._stats.and_misses += 1
-        level_f = self._level[f]
-        level_g = self._level[g]
-        top = min(level_f, level_g)
-        f0, f1 = (self._lo[f], self._hi[f]) if level_f == top else (f, f)
-        g0, g1 = (self._lo[g], self._hi[g]) if level_g == top else (g, g)
-        result = self._mk(top, self.apply_and(f0, g0), self.apply_and(f1, g1))
-        self._and_cache[key] = result
-        return result
+        level = self._level
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique = self._unique
+        tasks: list[tuple] = [(0, f, g)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                _, a, b = frame
+                if a == b:
+                    rpush(a)
+                    continue
+                if a == FALSE or b == FALSE:
+                    rpush(FALSE)
+                    continue
+                if a == TRUE:
+                    rpush(b)
+                    continue
+                if b == TRUE:
+                    rpush(a)
+                    continue
+                if a > b:
+                    a, b = b, a
+                key = (a, b)
+                cached = cache.get(key)
+                if cached is not None:
+                    if stats is not None:
+                        stats.and_hits += 1
+                    rpush(cached)
+                    continue
+                if stats is not None:
+                    stats.and_misses += 1
+                la = level[a]
+                lb = level[b]
+                if la < lb:
+                    top = la
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                    b0 = b1 = b
+                elif lb < la:
+                    top = lb
+                    a0 = a1 = a
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                else:
+                    top = la
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                push((1, key, top))
+                push((0, a1, b1))
+                push((0, a0, b0))
+            else:
+                _, key, top = frame
+                hi = results.pop()
+                lo = results[-1]
+                if lo == hi:
+                    node = lo
+                else:
+                    ukey = (top, lo, hi)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(level)
+                        level.append(top)
+                        lo_arr.append(lo)
+                        hi_arr.append(hi)
+                        unique[ukey] = node
+                        if stats is not None:
+                            stats.inserts += 1
+                cache[key] = node
+                results[-1] = node
+        return results[0]
 
     def apply_or(self, f: int, g: int) -> int:
-        """Disjunction ``f | g`` (via De Morgan on the AND fast path)."""
-        return self.negate(self.apply_and(self.negate(f), self.negate(g)))
+        """Disjunction ``f | g`` (direct core — no De Morgan detour
+        through two negations and an AND)."""
+        if f == g:
+            return f
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f > g:
+            f, g = g, f
+        stats = self._stats
+        cache = self._or_cache
+        cached = cache.get((f, g))
+        if cached is not None:
+            if stats is not None:
+                stats.or_hits += 1
+            return cached
+        level = self._level
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique = self._unique
+        tasks: list[tuple] = [(0, f, g)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                _, a, b = frame
+                if a == b:
+                    rpush(a)
+                    continue
+                if a == TRUE or b == TRUE:
+                    rpush(TRUE)
+                    continue
+                if a == FALSE:
+                    rpush(b)
+                    continue
+                if b == FALSE:
+                    rpush(a)
+                    continue
+                if a > b:
+                    a, b = b, a
+                key = (a, b)
+                cached = cache.get(key)
+                if cached is not None:
+                    if stats is not None:
+                        stats.or_hits += 1
+                    rpush(cached)
+                    continue
+                if stats is not None:
+                    stats.or_misses += 1
+                la = level[a]
+                lb = level[b]
+                if la < lb:
+                    top = la
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                    b0 = b1 = b
+                elif lb < la:
+                    top = lb
+                    a0 = a1 = a
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                else:
+                    top = la
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                push((1, key, top))
+                push((0, a1, b1))
+                push((0, a0, b0))
+            else:
+                _, key, top = frame
+                hi = results.pop()
+                lo = results[-1]
+                if lo == hi:
+                    node = lo
+                else:
+                    ukey = (top, lo, hi)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(level)
+                        level.append(top)
+                        lo_arr.append(lo)
+                        hi_arr.append(hi)
+                        unique[ukey] = node
+                        if stats is not None:
+                            stats.inserts += 1
+                cache[key] = node
+                results[-1] = node
+        return results[0]
 
     def apply_xor(self, f: int, g: int) -> int:
         """Exclusive or ``f ^ g``."""
@@ -369,22 +732,93 @@ class BDDManager:
             return self.negate(f)
         if f > g:
             f, g = g, f
-        key = (f, g)
-        cached = self._xor_cache.get(key)
+        stats = self._stats
+        cache = self._xor_cache
+        cached = cache.get((f, g))
         if cached is not None:
-            if self._stats is not None:
-                self._stats.xor_hits += 1
+            if stats is not None:
+                stats.xor_hits += 1
             return cached
-        if self._stats is not None:
-            self._stats.xor_misses += 1
-        level_f = self._level[f]
-        level_g = self._level[g]
-        top = min(level_f, level_g)
-        f0, f1 = (self._lo[f], self._hi[f]) if level_f == top else (f, f)
-        g0, g1 = (self._lo[g], self._hi[g]) if level_g == top else (g, g)
-        result = self._mk(top, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
-        self._xor_cache[key] = result
-        return result
+        level = self._level
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique = self._unique
+        negate = self.negate
+        tasks: list[tuple] = [(0, f, g)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                _, a, b = frame
+                if a == b:
+                    rpush(FALSE)
+                    continue
+                if a == FALSE:
+                    rpush(b)
+                    continue
+                if b == FALSE:
+                    rpush(a)
+                    continue
+                if a == TRUE:
+                    rpush(negate(b))
+                    continue
+                if b == TRUE:
+                    rpush(negate(a))
+                    continue
+                if a > b:
+                    a, b = b, a
+                key = (a, b)
+                cached = cache.get(key)
+                if cached is not None:
+                    if stats is not None:
+                        stats.xor_hits += 1
+                    rpush(cached)
+                    continue
+                if stats is not None:
+                    stats.xor_misses += 1
+                la = level[a]
+                lb = level[b]
+                if la < lb:
+                    top = la
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                    b0 = b1 = b
+                elif lb < la:
+                    top = lb
+                    a0 = a1 = a
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                else:
+                    top = la
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                push((1, key, top))
+                push((0, a1, b1))
+                push((0, a0, b0))
+            else:
+                _, key, top = frame
+                hi = results.pop()
+                lo = results[-1]
+                if lo == hi:
+                    node = lo
+                else:
+                    ukey = (top, lo, hi)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(level)
+                        level.append(top)
+                        lo_arr.append(lo)
+                        hi_arr.append(hi)
+                        unique[ukey] = node
+                        if stats is not None:
+                            stats.inserts += 1
+                cache[key] = node
+                results[-1] = node
+        return results[0]
 
     def apply_xnor(self, f: int, g: int) -> int:
         """Equivalence ``~(f ^ g)``."""
@@ -427,37 +861,79 @@ class BDDManager:
 
     def restrict(self, f: int, assignment: dict[int, bool]) -> int:
         """Simultaneous cofactor by a partial assignment ``{var: value}``."""
-        if not assignment:
+        if not assignment or f <= 1:
             return f
-        cache: dict[int, int] = {}
+        stats = self._stats
+        level = self._level
+        lo_arr = self._lo
+        hi_arr = self._hi
+        unique = self._unique
         max_level = max(assignment)
-
-        def walk(node: int) -> int:
-            if node <= 1 or self._level[node] > max_level:
-                return node
-            hit = cache.get(node)
-            if hit is not None:
-                return hit
-            level = self._level[node]
-            if level in assignment:
-                result = walk(self._hi[node] if assignment[level] else self._lo[node])
+        memo: dict[int, int] = {}
+        # Tags: 0 expand, 1 rebuild from two children, 2 forward the
+        # single (assigned-variable) child's result.
+        tasks: list[tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            tag, n = tasks.pop()
+            if tag == 0:
+                if n <= 1 or level[n] > max_level:
+                    rpush(n)
+                    continue
+                hit = memo.get(n)
+                if hit is not None:
+                    rpush(hit)
+                    continue
+                lvl = level[n]
+                if lvl in assignment:
+                    push((2, n))
+                    push((0, hi_arr[n] if assignment[lvl] else lo_arr[n]))
+                else:
+                    push((1, n))
+                    push((0, hi_arr[n]))
+                    push((0, lo_arr[n]))
+            elif tag == 1:
+                hi = results.pop()
+                lo = results[-1]
+                if lo == hi:
+                    node = lo
+                else:
+                    ukey = (level[n], lo, hi)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(level)
+                        level.append(level[n])
+                        lo_arr.append(lo)
+                        hi_arr.append(hi)
+                        unique[ukey] = node
+                        if stats is not None:
+                            stats.inserts += 1
+                memo[n] = node
+                results[-1] = node
             else:
-                result = self._mk(level, walk(self._lo[node]), walk(self._hi[node]))
-            cache[node] = result
-            return result
-
-        return walk(f)
+                memo[n] = results[-1]
+        return results[0]
 
     def evaluate(self, f: int, assignment: Sequence[bool] | dict[int, bool]) -> bool:
         """Evaluate ``f`` under a total assignment.
 
         ``assignment`` is either a sequence indexed by variable or a dict;
-        variables not on ``f``'s path are ignored.
+        variables not on ``f``'s path are ignored.  Raises ``ValueError``
+        when a variable on the evaluation path has no assigned value.
         """
         node = f
         while node > 1:
             level = self._level[node]
-            value = assignment[level]
+            try:
+                value = assignment[level]
+            except (KeyError, IndexError):
+                raise ValueError(
+                    f"assignment is missing variable "
+                    f"{self._var_names[level]!r} (index {level}), which lies "
+                    f"on the evaluation path"
+                ) from None
             node = self._hi[node] if value else self._lo[node]
         return node == TRUE
 
@@ -477,7 +953,10 @@ class BDDManager:
     # ------------------------------------------------------------------
 
     def clear_caches(self) -> int:
-        """Drop all operation caches (the unique table is kept).
+        """Drop all operation caches, including the persistent
+        quantification caches (the unique table and the interned cube
+        table are kept — the latter is bounded by the number of distinct
+        variable sets ever quantified).
 
         Useful between phases of a long-running computation to bound
         memory; correctness is unaffected.  Returns the number of evicted
@@ -485,16 +964,19 @@ class BDDManager:
         ``bdd.clear_caches`` obs event so mid-run evictions are visible
         in reports.
         """
-        evicted = (
-            len(self._ite_cache)
-            + len(self._and_cache)
-            + len(self._xor_cache)
-            + len(self._not_cache)
+        caches = (
+            self._ite_cache,
+            self._and_cache,
+            self._or_cache,
+            self._xor_cache,
+            self._not_cache,
+            self._exists_cache,
+            self._forall_cache,
+            self._and_exists_cache,
         )
-        self._ite_cache.clear()
-        self._and_cache.clear()
-        self._xor_cache.clear()
-        self._not_cache.clear()
+        evicted = sum(len(cache) for cache in caches)
+        for cache in caches:
+            cache.clear()
         if self._stats is not None:
             self._stats.cache_clears += 1
             self._stats.cache_evicted += evicted

@@ -4,71 +4,204 @@ Implements existential and universal abstraction plus the fused
 ``and_exists`` (relational product) used by image computation, where
 conjoining and quantifying in one pass avoids building the full
 intermediate conjunction.
+
+Results are cached *persistently* on the manager, keyed by
+``(node, cube_id)`` over interned :class:`~repro.bdd.manager.VarCube`
+objects — repeated ``∃x f`` / ``∀x f`` over the same variable set (the
+``ITE(c_x, f, ∀x f)`` parameterization loops, image iterations) hit the
+cache instead of re-walking.  The caches are dropped by
+:meth:`BDDManager.clear_caches` and surfaced through
+``ManagerStats``/``cache_sizes``.  Like the manager's operator cores,
+the walks are iterative (explicit stacks), so deep chain-shaped BDDs do
+not hit the interpreter recursion limit.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-from repro.bdd.manager import BDDManager, FALSE, TRUE
+from repro.bdd.manager import BDDManager, FALSE, TRUE, VarCube
 
 
-def exists(manager: BDDManager, f: int, variables: Iterable[int]) -> int:
+def exists(
+    manager: BDDManager, f: int, variables: "Iterable[int] | VarCube"
+) -> int:
     """Existential quantification ``∃ variables . f``."""
-    var_set = frozenset(variables)
+    cube = manager.intern_cube(variables)
+    var_set = cube.vars
     if not var_set:
         return f
-    max_level = max(var_set)
-    cache: dict[int, int] = {}
-
-    def walk(node: int) -> int:
-        if node <= 1 or manager.level(node) > max_level:
-            return node
-        hit = cache.get(node)
-        if hit is not None:
-            return hit
-        level = manager.level(node)
-        lo = walk(manager.lo(node))
-        hi = walk(manager.hi(node))
-        if level in var_set:
-            result = manager.apply_or(lo, hi)
+    max_level = cube.max_level
+    if f <= 1 or manager._level[f] > max_level:
+        return f
+    cid = cube.cube_id
+    stats = manager._stats
+    cache = manager._exists_cache
+    cached = cache.get((f, cid))
+    if cached is not None:
+        if stats is not None:
+            stats.exists_hits += 1
+        return cached
+    level = manager._level
+    lo_arr = manager._lo
+    hi_arr = manager._hi
+    unique = manager._unique
+    apply_or = manager.apply_or
+    # Tags: 0 expand; 1 rebuild an unquantified level; 2 lo-cofactor of a
+    # quantified level done (early-exit on TRUE, else expand hi); 3 both
+    # cofactors of a quantified level done (OR them).
+    tasks: list[tuple] = [(0, f)]
+    push = tasks.append
+    results: list[int] = []
+    rpush = results.append
+    while tasks:
+        frame = tasks.pop()
+        tag = frame[0]
+        if tag == 0:
+            n = frame[1]
+            if n <= 1 or level[n] > max_level:
+                rpush(n)
+                continue
+            cached = cache.get((n, cid))
+            if cached is not None:
+                if stats is not None:
+                    stats.exists_hits += 1
+                rpush(cached)
+                continue
+            if stats is not None:
+                stats.exists_misses += 1
+            lvl = level[n]
+            if lvl in var_set:
+                push((2, n, hi_arr[n]))
+                push((0, lo_arr[n]))
+            else:
+                push((1, n, lvl))
+                push((0, hi_arr[n]))
+                push((0, lo_arr[n]))
+        elif tag == 1:
+            _, n, lvl = frame
+            hi = results.pop()
+            lo = results[-1]
+            if lo == hi:
+                node = lo
+            else:
+                ukey = (lvl, lo, hi)
+                node = unique.get(ukey)
+                if node is None:
+                    node = len(level)
+                    level.append(lvl)
+                    lo_arr.append(lo)
+                    hi_arr.append(hi)
+                    unique[ukey] = node
+                    if stats is not None:
+                        stats.inserts += 1
+            cache[(n, cid)] = node
+            results[-1] = node
+        elif tag == 2:
+            _, n, hi_child = frame
+            if results[-1] == TRUE:
+                cache[(n, cid)] = TRUE
+                continue
+            push((3, n))
+            push((0, hi_child))
         else:
-            result = manager._mk(level, lo, hi)
-        cache[node] = result
-        return result
+            n = frame[1]
+            hi = results.pop()
+            node = apply_or(results[-1], hi)
+            cache[(n, cid)] = node
+            results[-1] = node
+    return results[0]
 
-    return walk(f)
 
-
-def forall(manager: BDDManager, f: int, variables: Iterable[int]) -> int:
+def forall(
+    manager: BDDManager, f: int, variables: "Iterable[int] | VarCube"
+) -> int:
     """Universal quantification ``∀ variables . f``."""
-    var_set = frozenset(variables)
+    cube = manager.intern_cube(variables)
+    var_set = cube.vars
     if not var_set:
         return f
-    max_level = max(var_set)
-    cache: dict[int, int] = {}
-
-    def walk(node: int) -> int:
-        if node <= 1 or manager.level(node) > max_level:
-            return node
-        hit = cache.get(node)
-        if hit is not None:
-            return hit
-        level = manager.level(node)
-        lo = walk(manager.lo(node))
-        hi = walk(manager.hi(node))
-        if level in var_set:
-            result = manager.apply_and(lo, hi)
+    max_level = cube.max_level
+    if f <= 1 or manager._level[f] > max_level:
+        return f
+    cid = cube.cube_id
+    stats = manager._stats
+    cache = manager._forall_cache
+    cached = cache.get((f, cid))
+    if cached is not None:
+        if stats is not None:
+            stats.forall_hits += 1
+        return cached
+    level = manager._level
+    lo_arr = manager._lo
+    hi_arr = manager._hi
+    unique = manager._unique
+    apply_and = manager.apply_and
+    tasks: list[tuple] = [(0, f)]
+    push = tasks.append
+    results: list[int] = []
+    rpush = results.append
+    while tasks:
+        frame = tasks.pop()
+        tag = frame[0]
+        if tag == 0:
+            n = frame[1]
+            if n <= 1 or level[n] > max_level:
+                rpush(n)
+                continue
+            cached = cache.get((n, cid))
+            if cached is not None:
+                if stats is not None:
+                    stats.forall_hits += 1
+                rpush(cached)
+                continue
+            if stats is not None:
+                stats.forall_misses += 1
+            lvl = level[n]
+            if lvl in var_set:
+                push((2, n, hi_arr[n]))
+                push((0, lo_arr[n]))
+            else:
+                push((1, n, lvl))
+                push((0, hi_arr[n]))
+                push((0, lo_arr[n]))
+        elif tag == 1:
+            _, n, lvl = frame
+            hi = results.pop()
+            lo = results[-1]
+            if lo == hi:
+                node = lo
+            else:
+                ukey = (lvl, lo, hi)
+                node = unique.get(ukey)
+                if node is None:
+                    node = len(level)
+                    level.append(lvl)
+                    lo_arr.append(lo)
+                    hi_arr.append(hi)
+                    unique[ukey] = node
+                    if stats is not None:
+                        stats.inserts += 1
+            cache[(n, cid)] = node
+            results[-1] = node
+        elif tag == 2:
+            _, n, hi_child = frame
+            if results[-1] == FALSE:
+                cache[(n, cid)] = FALSE
+                continue
+            push((3, n))
+            push((0, hi_child))
         else:
-            result = manager._mk(level, lo, hi)
-        cache[node] = result
-        return result
-
-    return walk(f)
+            n = frame[1]
+            hi = results.pop()
+            node = apply_and(results[-1], hi)
+            cache[(n, cid)] = node
+            results[-1] = node
+    return results[0]
 
 
 def and_exists(
-    manager: BDDManager, f: int, g: int, variables: Iterable[int]
+    manager: BDDManager, f: int, g: int, variables: "Iterable[int] | VarCube"
 ) -> int:
     """Relational product ``∃ variables . (f & g)`` computed in one pass.
 
@@ -76,43 +209,116 @@ def and_exists(
     conjunction is never materialised for subgraphs where quantification
     collapses it first.
     """
-    var_set = frozenset(variables)
+    cube = manager.intern_cube(variables)
+    var_set = cube.vars
     if not var_set:
         return manager.apply_and(f, g)
-    cache: dict[tuple[int, int], int] = {}
-
-    def walk(a: int, b: int) -> int:
-        if a == FALSE or b == FALSE:
-            return FALSE
-        if a == TRUE and b == TRUE:
-            return TRUE
-        if a == TRUE:
-            return exists(manager, b, var_set)
-        if b == TRUE:
-            return exists(manager, a, var_set)
-        if a > b:
-            a, b = b, a
-        key = (a, b)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        level_a = manager.level(a)
-        level_b = manager.level(b)
-        top = min(level_a, level_b)
-        a0, a1 = (manager.lo(a), manager.hi(a)) if level_a == top else (a, a)
-        b0, b1 = (manager.lo(b), manager.hi(b)) if level_b == top else (b, b)
-        if top in var_set:
-            lo = walk(a0, b0)
-            if lo == TRUE:
-                result = TRUE
+    max_level = cube.max_level
+    cid = cube.cube_id
+    stats = manager._stats
+    cache = manager._and_exists_cache
+    level = manager._level
+    lo_arr = manager._lo
+    hi_arr = manager._hi
+    unique = manager._unique
+    apply_or = manager.apply_or
+    apply_and = manager.apply_and
+    # Tags: 0 expand a (a, b) product; 1 rebuild an unquantified level;
+    # 2 lo-product of a quantified level done (early-exit on TRUE, else
+    # expand the hi-product); 3 both products done (OR them).
+    tasks: list[tuple] = [(0, f, g)]
+    push = tasks.append
+    results: list[int] = []
+    rpush = results.append
+    while tasks:
+        frame = tasks.pop()
+        tag = frame[0]
+        if tag == 0:
+            _, a, b = frame
+            if a == FALSE or b == FALSE:
+                rpush(FALSE)
+                continue
+            if a == TRUE:
+                rpush(TRUE if b == TRUE else exists(manager, b, cube))
+                continue
+            if b == TRUE:
+                rpush(exists(manager, a, cube))
+                continue
+            la = level[a]
+            lb = level[b]
+            if la > max_level and lb > max_level:
+                # No quantified variable below either operand: the
+                # product degenerates to a plain conjunction.
+                rpush(apply_and(a, b))
+                continue
+            if a > b:
+                a, b = b, a
+                la, lb = lb, la
+            key = (a, b, cid)
+            cached = cache.get(key)
+            if cached is not None:
+                if stats is not None:
+                    stats.and_exists_hits += 1
+                rpush(cached)
+                continue
+            if stats is not None:
+                stats.and_exists_misses += 1
+            if la < lb:
+                top = la
+                a0 = lo_arr[a]
+                a1 = hi_arr[a]
+                b0 = b1 = b
+            elif lb < la:
+                top = lb
+                a0 = a1 = a
+                b0 = lo_arr[b]
+                b1 = hi_arr[b]
             else:
-                result = manager.apply_or(lo, walk(a1, b1))
+                top = la
+                a0 = lo_arr[a]
+                a1 = hi_arr[a]
+                b0 = lo_arr[b]
+                b1 = hi_arr[b]
+            if top in var_set:
+                push((2, key, a1, b1))
+                push((0, a0, b0))
+            else:
+                push((1, key, top))
+                push((0, a1, b1))
+                push((0, a0, b0))
+        elif tag == 1:
+            _, key, top = frame
+            hi = results.pop()
+            lo = results[-1]
+            if lo == hi:
+                node = lo
+            else:
+                ukey = (top, lo, hi)
+                node = unique.get(ukey)
+                if node is None:
+                    node = len(level)
+                    level.append(top)
+                    lo_arr.append(lo)
+                    hi_arr.append(hi)
+                    unique[ukey] = node
+                    if stats is not None:
+                        stats.inserts += 1
+            cache[key] = node
+            results[-1] = node
+        elif tag == 2:
+            _, key, a1, b1 = frame
+            if results[-1] == TRUE:
+                cache[key] = TRUE
+                continue
+            push((3, key))
+            push((0, a1, b1))
         else:
-            result = manager._mk(top, walk(a0, b0), walk(a1, b1))
-        cache[key] = result
-        return result
-
-    return walk(f, g)
+            key = frame[1]
+            hi = results.pop()
+            node = apply_or(results[-1], hi)
+            cache[key] = node
+            results[-1] = node
+    return results[0]
 
 
 def abstract_interval(
@@ -124,5 +330,5 @@ def abstract_interval(
     Returns the (possibly empty) abstracted interval as a bound pair; the
     result is consistent iff ``∃x l <= ∀x u``.
     """
-    var_list = list(variables)
-    return exists(manager, lower, var_list), forall(manager, upper, var_list)
+    cube = manager.intern_cube(variables)
+    return exists(manager, lower, cube), forall(manager, upper, cube)

@@ -44,11 +44,16 @@ def parameterized_forall(
         raise ValueError("need one decision variable per abstracted variable")
     result = f
     skipped: list[int] = []
-    for x, c in zip(x_vars, c_vars):
+    # Intern the single-variable cubes up front: every ``∀x`` in the loop
+    # then keys the manager's persistent quantification cache on a stable
+    # cube id, so re-parameterizing the same function (or overlapping
+    # subgraphs of different functions) hits instead of re-walking.
+    cubes = [manager.intern_cube((x,)) for x in x_vars]
+    for x_cube, c in zip(cubes, c_vars):
         if node_budget is not None and manager.num_nodes > node_budget:
             skipped.append(c)
             continue
-        abstracted = _quantify.forall(manager, result, [x])
+        abstracted = _quantify.forall(manager, result, x_cube)
         result = manager.ite(manager.var(c), result, abstracted)
     if _obs.enabled():
         _obs.inc("bidec.param.forall_vars", len(x_vars) - len(skipped))
@@ -76,8 +81,9 @@ def parameterized_exists(
     if len(x_vars) != len(c_vars):
         raise ValueError("need one decision variable per abstracted variable")
     result = f
-    for x, c in zip(x_vars, c_vars):
-        abstracted = _quantify.exists(manager, result, [x])
+    cubes = [manager.intern_cube((x,)) for x in x_vars]
+    for x_cube, c in zip(cubes, c_vars):
+        abstracted = _quantify.exists(manager, result, x_cube)
         result = manager.ite(manager.var(c), result, abstracted)
     _obs.inc("bidec.param.exists_vars", len(x_vars))
     return result

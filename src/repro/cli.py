@@ -120,7 +120,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
         for key in ("num_vars", "num_nodes", "unique_size"):
             print(f"  {key:>16}: {snapshot[key]}")
         print(f"  {'peak_nodes':>16}: {snapshot['num_nodes']}")
-        for op in ("ite", "and", "xor", "not"):
+        for op in (
+            "ite", "and", "or", "xor", "not",
+            "exists", "forall", "and_exists",
+        ):
             hits = snapshot[f"cache.{op}.hits"]
             misses = snapshot[f"cache.{op}.misses"]
             size = snapshot[f"cache.{op}.size"]

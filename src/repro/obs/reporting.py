@@ -16,7 +16,16 @@ from repro.obs.registry import report as _snapshot
 
 #: Cache name -> (hit counter, miss counter) suffixes under the ``bdd.``
 #: namespace, as emitted by ``repro.bdd.manager``.
-_CACHE_OPS = ("ite", "and", "xor", "not")
+_CACHE_OPS = (
+    "ite",
+    "and",
+    "or",
+    "xor",
+    "not",
+    "exists",
+    "forall",
+    "and_exists",
+)
 
 
 def write_report(

@@ -52,16 +52,22 @@ def image_early(
         remaining_support.append(set(running))
         running |= support
     remaining_support.reverse()
+    # Running (over-approximate) support of the growing product: start
+    # from the states' support and fold in each conjunct's, subtracting
+    # quantified variables as they leave.  A superset is sound — ∃x f = f
+    # when x is not in f's support — and avoids re-walking the ever-larger
+    # product for its exact support on every fold (which made the
+    # schedule itself quadratic in the number of conjuncts).
+    current_support = _count.support(manager, states)
     for index, part in enumerate(parts):
         current = manager.apply_and(current, part)
+        current_support |= supports[index]
         later = remaining_support[index]
-        ready = (
-            (to_quantify & (supports[index] | _count.support(manager, current)))
-            - later
-        )
+        ready = (to_quantify & current_support) - later
         if ready:
             current = _quantify.exists(manager, current, ready)
             to_quantify -= ready
+            current_support -= ready
             if track:
                 # The quantification schedule: how many variables leave
                 # the product at each fold position, and how big the

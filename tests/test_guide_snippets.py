@@ -16,6 +16,21 @@ class TestGuideSnippets:
         h = (x & y) | ~z
         assert (x & y) <= h
 
+    def test_kernel_performance_snippet(self):
+        from repro.bdd import BDDManager, exists
+
+        m = BDDManager(6)
+        f = m.apply_or(m.apply_and(m.var(0), m.var(1)), m.var(4))
+        cube = m.intern_cube([1, 4])
+        assert m.intern_cube([4, 1]) is cube
+        g = exists(m, f, cube)
+        assert exists(m, f, [1, 4]) == g
+        assert m.cache_sizes()["exists"] > 0
+        evicted = m.clear_caches()
+        assert evicted > 0
+        assert m.cache_sizes()["exists"] == 0
+        assert exists(m, f, cube) == g
+
     def test_interval_snippet(self):
         from repro.bdd import BDDManager
         from repro.intervals import Interval

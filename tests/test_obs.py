@@ -252,7 +252,10 @@ class TestBddManagerTracking:
         manager.negate(manager.var(2))
         evicted = manager.clear_caches()
         assert evicted >= 2
-        assert manager.cache_sizes() == {"ite": 0, "and": 0, "xor": 0, "not": 0}
+        assert manager.cache_sizes() == {
+            "ite": 0, "and": 0, "or": 0, "xor": 0, "not": 0,
+            "exists": 0, "forall": 0, "and_exists": 0,
+        }
         assert manager.clear_caches() == 0
         events = [
             event
