@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Custom pass pipelines, resource budgets, and checkpoint/resume.
+
+Builds a hand-rolled pipeline (including a user-registered pass) for a
+benchmark circuit, runs it through ``algorithm1``, shows the declarative
+config round trip that backs ``repro optimize --pipeline-config``, then
+demonstrates graceful degradation under a starved node budget and a
+checkpointed run resumed from disk.
+
+Run:  python examples/custom_pipeline.py [circuit]   (default s344)
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.benchgen import ISCAS_SPECS, iscas_analog
+from repro.engine import (
+    Pipeline,
+    SynthesisOptions,
+    register_pass,
+    resume_pipeline,
+)
+from repro.network import outputs_equal
+from repro.synth import algorithm1
+
+
+@register_pass("census")
+class CensusPass:
+    """Toy user pass: record the rebuilt network's size as an artifact."""
+
+    name = "census"
+
+    def __init__(self, **params):
+        self.params = dict(params)
+
+    def run(self, context):
+        net = context.ensure_rebuilt()
+        context.artifacts["census"] = {
+            "nodes": len(net.nodes),
+            "literals": net.literal_count(),
+        }
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s344"
+    if name not in ISCAS_SPECS:
+        raise SystemExit(f"unknown circuit {name!r}; pick from {sorted(ISCAS_SPECS)}")
+    net = iscas_analog(name)
+    print(f"{name}: {net.stats()}")
+
+    # A custom pipeline: skip latch cleanup, cap decompose support at 9,
+    # and take a census of the rebuilt network before structural cleanup.
+    pipeline = Pipeline(
+        [
+            "dontcares",
+            {"pass": "decompose", "max_support": 9},
+            "finalize",
+            "census",
+            "sweep",
+            "strash",
+            "sweep",
+        ]
+    )
+    report = algorithm1(net, SynthesisOptions(), pipeline=pipeline)
+    assert outputs_equal(net, report.network, cycles=40), "not equivalent!"
+    census = report.artifacts["census"]
+    print(
+        f"  custom pipeline: {net.literal_count()} -> "
+        f"{report.network.literal_count()} literals "
+        f"(decomposed {report.decomposed()} signals)"
+    )
+    print(f"  census artifact (pre-sweep): {census}")
+
+    # The same pipeline as a declarative config — what the CLI's
+    # --pipeline-config flag consumes.
+    config = pipeline.to_config()
+    print(f"  config: {json.dumps(config)}")
+    assert Pipeline.from_config(config).pass_names() == pipeline.pass_names()
+
+    # Starved node budget: the run degrades to structural copies but
+    # still finishes with an equivalent network.
+    starved = algorithm1(net, SynthesisOptions(node_budget=40))
+    assert starved.degraded and outputs_equal(net, starved.network, cycles=40)
+    print(f"  starved run degraded: {starved.degrade_reason}")
+
+    # Checkpoint after every pass, then resume from disk: the resumed
+    # leg replays nothing and reproduces the same network.
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = str(Path(tmp) / "run.json")
+        full = algorithm1(net, SynthesisOptions(), checkpoint=ck)
+        resumed = resume_pipeline(ck).to_report()
+        assert resumed.network.literal_count() == full.network.literal_count()
+        print(
+            f"  checkpoint/resume: {resumed.network.literal_count()} literals "
+            f"(matches uninterrupted run)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@ against."""
 
 from repro.bidec.api import (
     BiDecomposition,
+    decompose_cone,
     decompose_interval,
     or_bidecompose,
     and_bidecompose,
@@ -49,6 +50,7 @@ from repro.bidec.recursive import DecTree, decompose_recursive
 
 __all__ = [
     "BiDecomposition",
+    "decompose_cone",
     "decompose_interval",
     "or_bidecompose",
     "and_bidecompose",

@@ -143,6 +143,43 @@ def xor_bidecompose(
     return _decompose_with_space(interval, space, require_nontrivial, objective)
 
 
+def decompose_cone(
+    interval: Interval,
+    *,
+    max_support: int = 12,
+    gates: Sequence[str] = ("or", "and", "xor"),
+    objective: str = "balanced",
+    sharing_choice: bool = False,
+    share_table: Optional[dict[int, str]] = None,
+):
+    """One Algorithm 1 decompose step: recursively bi-decompose a widened
+    cone interval into a :class:`~repro.bidec.recursive.DecTree`.
+
+    With ``sharing_choice`` the full Section 3.5.3 policy is used —
+    partitions are selected for reuse against ``share_table`` (BDD node
+    -> existing network signal) at every recursion level; otherwise the
+    plain recursive decomposition with the given ``objective`` runs.
+    This is the seam the engine's decompose pass calls through.
+    """
+    if sharing_choice:
+        from repro.bidec.recursive import decompose_recursive_shared
+
+        return decompose_recursive_shared(
+            interval,
+            share_table if share_table is not None else {},
+            max_support=max_support,
+            gates=tuple(gates),
+        )
+    from repro.bidec.recursive import decompose_recursive
+
+    return decompose_recursive(
+        interval,
+        max_support=max_support,
+        gates=tuple(gates),
+        objective=objective,
+    )
+
+
 def decompose_interval(
     interval: Interval,
     gates: Sequence[str] = ("or", "and", "xor"),

@@ -6,7 +6,15 @@ Commands
 ``stats FILE``
     Print interface/size statistics of a BLIF or ``.bench`` netlist.
 ``optimize FILE -o OUT``
-    Run the Algorithm 1 synthesis loop and write the optimised netlist.
+    Run the Algorithm 1 synthesis pipeline and write the optimised
+    netlist.  Every :class:`SynthesisOptions` knob is a flag; resource
+    budgets (``--time-budget``/``--node-budget``) degrade gracefully,
+    ``--pipeline-config`` swaps in a declarative pass list, and
+    ``--checkpoint``/``--resume`` persist and pick up pass-boundary
+    state.
+``resynth FILE -o OUT``
+    Iterate Algorithm 1 to a literal-count fixpoint (the Section 3.7
+    re-synthesis loop), printing the literal trajectory.
 ``map FILE``
     Technology-map a netlist and report area/delay (optionally after
     optimisation with ``--optimize``).
@@ -139,18 +147,56 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthesis_options(args: argparse.Namespace):
+    """Build :class:`SynthesisOptions` from the shared synthesis flags."""
+    from repro.synth import SynthesisOptions
+
+    return SynthesisOptions(
+        use_unreachable_states=not args.no_states,
+        dc_source=args.dc_source,
+        max_partition_size=args.partition_size,
+        max_support=args.max_support,
+        max_cone_inputs=args.cone_inputs,
+        objective=args.objective,
+        acceptance_ratio=args.acceptance_ratio,
+        enable_sharing=not args.no_sharing,
+        time_budget=args.time_budget,
+        node_budget=args.node_budget,
+    )
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
+    import json
+
     from repro.network import outputs_equal
-    from repro.synth import SynthesisOptions, algorithm1
+    from repro.synth import algorithm1
 
     obs_active = _obs_begin(args)
     network = _load(args.file)
-    options = SynthesisOptions(
-        use_unreachable_states=not args.no_states,
-        max_partition_size=args.partition_size,
-        time_budget=args.time_budget,
-    )
-    report = algorithm1(network, options)
+    options = _synthesis_options(args)
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume needs --checkpoint PATH", file=sys.stderr)
+            return 1
+        if not Path(args.checkpoint).exists():
+            print(f"no checkpoint at {args.checkpoint}", file=sys.stderr)
+            return 1
+        from repro.engine import resume_pipeline
+
+        report = resume_pipeline(args.checkpoint).to_report()
+    else:
+        pipeline = None
+        if args.pipeline_config:
+            from repro.engine import Pipeline, SynthesisOptions
+
+            config = json.loads(Path(args.pipeline_config).read_text())
+            options = SynthesisOptions.from_dict(
+                config.get("options", {}), base=options
+            )
+            pipeline = Pipeline.from_config(config)
+        report = algorithm1(
+            network, options, pipeline=pipeline, checkpoint=args.checkpoint
+        )
     if not outputs_equal(network, report.network, cycles=32):
         print("ERROR: random simulation found a mismatch", file=sys.stderr)
         return 1
@@ -160,6 +206,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         f"and/inv {before['and_inv']} -> {after['and_inv']}, "
         f"decomposed {report.decomposed()} signals in {report.runtime:.1f}s"
     )
+    if report.degraded:
+        print(f"degraded: {report.degrade_reason}")
     _save(report.network, args.output)
     print(f"wrote {args.output}")
     _obs_finish(
@@ -170,7 +218,43 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         literals_before=before["literals"],
         literals_after=after["literals"],
         decomposed=report.decomposed(),
+        degraded=report.degraded,
         runtime=report.runtime,
+    )
+    return 0
+
+
+def cmd_resynth(args: argparse.Namespace) -> int:
+    from repro.network import outputs_equal
+    from repro.synth import resynthesis_loop
+
+    obs_active = _obs_begin(args)
+    network = _load(args.file)
+    report = resynthesis_loop(
+        network, _synthesis_options(args), max_rounds=args.rounds
+    )
+    if not outputs_equal(network, report.network, cycles=32):
+        print("ERROR: random simulation found a mismatch", file=sys.stderr)
+        return 1
+    trajectory = " -> ".join(str(n) for n in report.literal_trajectory)
+    print(f"literal trajectory: {trajectory}")
+    print(
+        f"best {report.network.literal_count()} literals "
+        f"after {len(report.rounds)} round(s), "
+        f"reduction {report.total_reduction():.3f}"
+    )
+    if report.degraded:
+        print("degraded: resource budget exhausted mid-loop")
+    _save(report.network, args.output)
+    print(f"wrote {args.output}")
+    _obs_finish(
+        args,
+        obs_active,
+        command="resynth",
+        input=args.file,
+        trajectory=report.literal_trajectory,
+        rounds=len(report.rounds),
+        degraded=report.degraded,
     )
     return 0
 
@@ -181,9 +265,16 @@ def cmd_map(args: argparse.Namespace) -> int:
     obs_active = _obs_begin(args)
     network = _load(args.file)
     if args.optimize:
+        from repro.network import outputs_equal
         from repro.synth import algorithm1
 
-        network = algorithm1(network).network
+        optimized = algorithm1(network).network
+        if not outputs_equal(network, optimized, cycles=32):
+            print(
+                "ERROR: random simulation found a mismatch", file=sys.stderr
+            )
+            return 1
+        network = optimized
     library = load_library(args.library)
     result = map_network(network, library, mode=args.mode)
     print(
@@ -457,15 +548,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip cones wider than this when collapsing")
     p.set_defaults(func=cmd_stats)
 
-    p = sub.add_parser("optimize", help="run Algorithm 1")
+    def add_synthesis_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--no-states", action="store_true",
+                             help="disable unreachable-state don't cares")
+        command.add_argument("--dc-source",
+                             choices=("reachability", "induction"),
+                             default="reachability",
+                             help="how to approximate unreachable states")
+        command.add_argument("--partition-size", type=int, default=16,
+                             help="latch-partition size cap")
+        command.add_argument("--max-support", type=int, default=12,
+                             help="support size above which the greedy "
+                                  "fallback replaces symbolic enumeration")
+        command.add_argument("--cone-inputs", type=int, default=20,
+                             help="cones wider than this are kept "
+                                  "structurally")
+        command.add_argument("--objective",
+                             choices=("balanced", "min_total"),
+                             default="balanced",
+                             help="partition-size objective")
+        command.add_argument("--acceptance-ratio", type=float, default=1.25,
+                             help="accept a rebuilt cone only if its cost "
+                                  "is at most this multiple of the original")
+        command.add_argument("--no-sharing", action="store_true",
+                             help="disable cross-signal function reuse")
+        command.add_argument("--time-budget", type=float, default=None,
+                             help="global wall-clock budget in seconds "
+                                  "(exhaustion degrades, never fails)")
+        command.add_argument("--node-budget", type=int, default=None,
+                             help="global BDD-node budget "
+                                  "(exhaustion degrades, never fails)")
+
+    p = sub.add_parser("optimize", help="run the Algorithm 1 pipeline")
     p.add_argument("file")
     p.add_argument("-o", "--output", required=True)
-    p.add_argument("--no-states", action="store_true",
-                   help="disable unreachable-state don't cares")
-    p.add_argument("--partition-size", type=int, default=16)
-    p.add_argument("--time-budget", type=float, default=None)
+    add_synthesis_flags(p)
+    p.add_argument("--pipeline-config", metavar="PATH", default=None,
+                   help="JSON pipeline config: "
+                        '{"options": {...}, "passes": [...]}')
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="write pass-boundary checkpoints to PATH")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the --checkpoint file instead of "
+                        "starting over")
     add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser(
+        "resynth",
+        help="iterate Algorithm 1 to a literal-count fixpoint",
+    )
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--rounds", type=int, default=4,
+                   help="maximum re-synthesis rounds")
+    add_synthesis_flags(p)
+    add_obs_flags(p)
+    p.set_defaults(func=cmd_resynth)
 
     p = sub.add_parser("map", help="technology mapping")
     p.add_argument("file")

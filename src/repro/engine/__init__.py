@@ -1,0 +1,75 @@
+"""Pass-pipeline synthesis engine.
+
+The engine re-expresses Algorithm 1 as an explicit pipeline of passes
+over a shared :class:`SynthesisContext`:
+
+* :class:`ResourceGovernor` — global wall-clock and BDD-node budgets,
+  checked at pass boundaries (and per signal inside the decompose
+  pass); exhaustion degrades gracefully to structural copy, never
+  raises.
+* :class:`Pass` / :class:`Pipeline` — the stage protocol, a registry of
+  standard passes (``cleanup``, ``dontcares``, ``decompose``,
+  ``finalize``, ``sweep``, ``strash``), and a builder with declarative
+  dict/JSON config for the CLI's ``--pipeline-config``.
+* checkpoint/resume — pass-boundary serialization of pipeline position
+  + network state, so long runs can be killed and resumed
+  (:func:`save_checkpoint` / :func:`resume_pipeline`).
+
+``repro.synth.algorithm1`` and ``repro.synth.resynthesis`` are thin
+wrappers that assemble standard pipelines on top of this package.
+"""
+
+from repro.engine.checkpoint import (
+    load_checkpoint,
+    network_from_dict,
+    network_to_dict,
+    restore_context,
+    resume_pipeline,
+    save_checkpoint,
+)
+from repro.engine.context import (
+    SignalRecord,
+    SynthesisContext,
+    SynthesisOptions,
+    SynthesisReport,
+)
+from repro.engine.governor import ResourceGovernor
+from repro.engine.passes import (
+    DecomposePass,
+    DontCarePass,
+    FinalizePass,
+    LatchCleanupPass,
+    Pass,
+    StrashPass,
+    SweepPass,
+    available_passes,
+    make_pass,
+    register_pass,
+)
+from repro.engine.pipeline import Pipeline, standard_pipeline
+
+__all__ = [
+    "DecomposePass",
+    "DontCarePass",
+    "FinalizePass",
+    "LatchCleanupPass",
+    "Pass",
+    "Pipeline",
+    "ResourceGovernor",
+    "SignalRecord",
+    "StrashPass",
+    "SweepPass",
+    "SynthesisContext",
+    "SynthesisOptions",
+    "SynthesisReport",
+    "available_passes",
+    "load_checkpoint",
+    "make_pass",
+    "network_from_dict",
+    "network_to_dict",
+    "register_pass",
+    "restore_context",
+    "resume_pipeline",
+    "save_checkpoint",
+    "standard_pipeline",
+]

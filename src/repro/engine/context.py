@@ -1,0 +1,218 @@
+"""Shared synthesis state: options, per-signal records, reports, and the
+:class:`SynthesisContext` every pipeline pass reads and writes.
+
+The context is the one object threaded through a pipeline run.  It owns
+the working copy of the network, the BDD manager and cone collapser, the
+don't-care store, the sharing table, and the :class:`ResourceGovernor`
+that polices the run's wall-clock and node budgets.  Passes communicate
+exclusively through it — which is what makes the pipeline
+checkpointable: everything a later pass needs is either on the context
+or rebuilt lazily from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.engine.governor import ResourceGovernor
+from repro.network.netlist import Network
+
+
+@dataclass
+class SynthesisOptions:
+    """Tuning knobs for Algorithm 1."""
+
+    #: Use unreachable-state don't cares (the paper's headline feature).
+    use_unreachable_states: bool = True
+    #: How to approximate unreachable states: "reachability" (the paper's
+    #: partitioned traversal) or "induction" (the cheaper [7]-style
+    #: inductive-invariant alternative, see repro.reach.induction).
+    dc_source: str = "reachability"
+    #: Latch-partition size cap (the paper uses ~100 with a native BDD
+    #: package; a pure-Python engine wants smaller partitions).
+    max_partition_size: int = 16
+    #: Per-partition traversal time budget in seconds.
+    reach_time_budget: Optional[float] = 20.0
+    #: Support size above which the greedy fallback replaces the
+    #: exhaustive symbolic enumeration.
+    max_support: int = 12
+    #: Cones with more inputs than this are kept structurally.
+    max_cone_inputs: int = 20
+    #: Decomposition gate repertoire.
+    gates: tuple[str, ...] = ("or", "and", "xor")
+    #: Partition-size objective ("balanced" or "min_total").
+    objective: str = "balanced"
+    #: Reuse equal functions across signals (Figure 3.2 sharing).
+    enable_sharing: bool = True
+    #: Select partitions by sharing at every recursion level (the full
+    #: Section 3.5.3 choice policy; slower than the default, which only
+    #: reuses equal functions at instantiation time).
+    sharing_choice: bool = False
+    #: Accept a rebuilt cone only if its cost is at most this multiple of
+    #: the original cone's literal estimate.
+    acceptance_ratio: float = 1.25
+    #: Run the Section 3.6 latch cleanup first.
+    preprocess_latches: bool = True
+    #: Overall wall-clock budget for the run (seconds; governor-enforced).
+    time_budget: Optional[float] = None
+    #: Overall BDD-node budget across every manager the run allocates
+    #: (governor-enforced; exhaustion degrades to structural copy).
+    node_budget: Optional[int] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (tuples become lists)."""
+        data = dict(vars(self))
+        data["gates"] = list(data["gates"])
+        return data
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, Any], base: Optional["SynthesisOptions"] = None
+    ) -> "SynthesisOptions":
+        """Build options from a (possibly partial) dict, starting from
+        ``base`` (or the defaults).  Unknown keys raise ``ValueError``."""
+        merged = dict(vars(base)) if base is not None else dict(vars(cls()))
+        for key, value in data.items():
+            if key not in merged:
+                raise ValueError(f"unknown synthesis option {key!r}")
+            merged[key] = value
+        merged["gates"] = tuple(merged["gates"])
+        return cls(**merged)
+
+
+@dataclass
+class SignalRecord:
+    """Per-signal outcome for reporting."""
+
+    signal: str
+    cone_inputs: int
+    action: str  # "decomposed" | "kept-cost" | "kept-large" | "copied"
+    tree_cost: Optional[int] = None
+    original_cost: Optional[int] = None
+
+
+@dataclass
+class SynthesisReport:
+    """Result of one Algorithm 1 run."""
+
+    network: Network
+    records: list[SignalRecord] = field(default_factory=list)
+    latch_cleanup: dict[str, int] = field(default_factory=dict)
+    runtime: float = 0.0
+    #: True when a resource budget tripped and part of the design was
+    #: copied structurally instead of decomposed.  The network is still
+    #: valid and equivalent — just less optimised.
+    degraded: bool = False
+    degrade_reason: Optional[str] = None
+    #: Per-pass wall times: ``[{"pass": name, "elapsed": seconds}, ...]``.
+    passes: list[dict[str, Any]] = field(default_factory=list)
+    #: Free-form data custom passes left in ``context.artifacts``.
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    def decomposed(self) -> int:
+        return sum(1 for r in self.records if r.action == "decomposed")
+
+
+class SynthesisContext:
+    """Mutable state shared by every pass of a synthesis pipeline.
+
+    ``source`` is a private copy of the caller's network (cleanup passes
+    mutate it in place); ``rebuilt`` is the network the decompose and
+    finalize passes grow.  The BDD manager, cone collapser and don't-care
+    store are created lazily so cheap pipelines (for example pure
+    structural cleanup) never pay for them.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        options: Optional[SynthesisOptions] = None,
+        governor: Optional[ResourceGovernor] = None,
+    ) -> None:
+        self.options = options or SynthesisOptions()
+        self.governor = governor or ResourceGovernor(
+            time_budget=self.options.time_budget,
+            node_budget=self.options.node_budget,
+        )
+        self.source = network.copy()
+        self.rebuilt: Optional[Network] = None
+        self.collapser = None  # repro.network.bdd_build.ConeCollapser
+        self.dc_manager = None  # duck-typed unreachable_for() provider
+        self.share_table: dict[int, str] = {}
+        self.signal_map: dict[str, str] = {}
+        self.records: list[SignalRecord] = []
+        self.latch_cleanup: dict[str, int] = {}
+        self.degraded = False
+        self.degrade_reason: Optional[str] = None
+        self.pass_log: list[dict[str, Any]] = []
+        #: Free-form pass-to-pass data (custom passes stash results here).
+        self.artifacts: dict[str, Any] = {}
+        #: Wall time accumulated before this context existed (set by
+        #: checkpoint resume so reported runtimes stay cumulative).
+        self.prior_elapsed = 0.0
+        self._elapsed_at_start = self.governor.elapsed()
+
+    # -- lazy substrate ---------------------------------------------------
+
+    @property
+    def manager(self):
+        """The cone collapser's BDD manager (created on first use)."""
+        return self.ensure_collapser().manager
+
+    def ensure_collapser(self):
+        """The :class:`ConeCollapser` over ``source`` (created on first
+        use, its manager charged to the governor's node budget)."""
+        if self.collapser is None:
+            from repro.bdd.manager import BDDManager
+            from repro.network.bdd_build import ConeCollapser
+
+            manager = self.governor.attach_manager(BDDManager())
+            self.collapser = ConeCollapser(self.source, manager)
+        return self.collapser
+
+    def ensure_rebuilt(self) -> Network:
+        """The output network seeded with ``source``'s interface."""
+        if self.rebuilt is None:
+            rebuilt = Network(self.source.name)
+            for name in self.source.inputs:
+                rebuilt.add_input(name)
+            for latch in self.source.latches.values():
+                rebuilt.add_latch(latch.name, latch.data_in, latch.init)
+            self.rebuilt = rebuilt
+        return self.rebuilt
+
+    # -- degradation ------------------------------------------------------
+
+    def mark_degraded(self, reason: str) -> None:
+        """Record that budget exhaustion downgraded part of the run
+        (first reason wins; never raises)."""
+        if not self.degraded:
+            self.degraded = True
+            self.degrade_reason = reason
+
+    # -- results ----------------------------------------------------------
+
+    def runtime(self) -> float:
+        """Wall time attributable to this context (cumulative across
+        checkpoint resumes)."""
+        return self.prior_elapsed + (
+            self.governor.elapsed() - self._elapsed_at_start
+        )
+
+    def result_network(self) -> Network:
+        """The pipeline's product: the rebuilt network if one was grown,
+        otherwise the (possibly cleaned-up) source copy."""
+        return self.rebuilt if self.rebuilt is not None else self.source
+
+    def to_report(self) -> SynthesisReport:
+        return SynthesisReport(
+            network=self.result_network(),
+            records=self.records,
+            latch_cleanup=self.latch_cleanup,
+            runtime=self.runtime(),
+            degraded=self.degraded,
+            degrade_reason=self.degrade_reason,
+            passes=list(self.pass_log),
+            artifacts=dict(self.artifacts),
+        )

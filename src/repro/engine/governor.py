@@ -1,0 +1,130 @@
+"""Resource governor: global wall-clock and BDD-node budgets.
+
+Algorithm 1's stages used to police themselves with ad-hoc per-call
+``time_budget`` floats.  The governor centralises that: one object owns
+the run's wall-clock and node budgets, every pass (and every per-signal
+step inside the decompose pass) asks it ``out_of_budget()``, and the
+answer is *latched* — once a budget trips, it stays tripped, so the
+remaining work degrades deterministically (structural copy) instead of
+flapping near the boundary.
+
+Budget exhaustion never raises.  Passes that notice an exhausted
+governor finish their work in degraded mode and record the reason on the
+:class:`~repro.engine.context.SynthesisContext`; the final report is
+marked ``degraded`` but still describes a valid, equivalent network.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+
+class ResourceGovernor:
+    """Tracks elapsed wall-clock time and BDD nodes allocated across all
+    attached managers against optional budgets.
+
+    ``time_budget`` is in seconds, ``node_budget`` in BDD nodes summed
+    over every manager registered with :meth:`attach_manager` (cone
+    collapser and per-partition reachability managers alike).  ``None``
+    means unlimited.  A budget of ``0`` is exhausted immediately —
+    everything degrades to structural copy.
+    """
+
+    def __init__(
+        self,
+        time_budget: Optional[float] = None,
+        node_budget: Optional[int] = None,
+    ) -> None:
+        self.time_budget = time_budget
+        self.node_budget = node_budget
+        self._start = time.perf_counter()
+        self._managers: list[Any] = []
+        self._reason: Optional[str] = None
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def attach_manager(self, manager: Any) -> Any:
+        """Register a BDD manager whose node count charges the node
+        budget; returns the manager for chaining."""
+        if manager not in self._managers:
+            self._managers.append(manager)
+        return manager
+
+    def elapsed(self) -> float:
+        """Seconds since the governor was created."""
+        return time.perf_counter() - self._start
+
+    def nodes_allocated(self) -> int:
+        """Total nodes ever created across the attached managers."""
+        return sum(m.num_nodes for m in self._managers)
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left in the wall-clock budget (``None`` = unlimited)."""
+        if self.time_budget is None:
+            return None
+        return max(0.0, self.time_budget - self.elapsed())
+
+    def time_slice(self, cap: Optional[float]) -> Optional[float]:
+        """A per-call time budget for a sub-computation: the smaller of
+        ``cap`` and the governor's remaining time (``None`` = unlimited)."""
+        remaining = self.remaining_time()
+        if remaining is None:
+            return cap
+        if cap is None:
+            return remaining
+        return min(cap, remaining)
+
+    # -- the budget check -------------------------------------------------
+
+    def out_of_budget(self) -> bool:
+        """True once any budget is exhausted (latched)."""
+        if self._reason is not None:
+            return True
+        if self.time_budget is not None and self.elapsed() > self.time_budget:
+            self._reason = (
+                f"time budget exhausted ({self.time_budget:.3g}s)"
+            )
+            return True
+        if (
+            self.node_budget is not None
+            and self.nodes_allocated() > self.node_budget
+        ):
+            self._reason = (
+                f"node budget exhausted ({self.node_budget} nodes)"
+            )
+            return True
+        return False
+
+    def mark_exhausted(self, reason: str) -> None:
+        """Latch exhaustion explicitly (first reason wins)."""
+        if self._reason is None:
+            self._reason = reason
+
+    @property
+    def exhausted(self) -> bool:
+        """Latched exhaustion state (does not re-measure)."""
+        return self._reason is not None
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Human-readable reason the first budget tripped, or ``None``."""
+        return self._reason
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-friendly view for checkpoints and reports."""
+        return {
+            "time_budget": self.time_budget,
+            "node_budget": self.node_budget,
+            "elapsed": self.elapsed(),
+            "nodes_allocated": self.nodes_allocated(),
+            "exhausted": self.exhausted,
+            "reason": self._reason,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResourceGovernor time={self.elapsed():.2f}"
+            f"/{self.time_budget} nodes={self.nodes_allocated()}"
+            f"/{self.node_budget} exhausted={self.exhausted}>"
+        )

@@ -1,0 +1,149 @@
+"""Pipeline: an ordered list of passes run over a shared context.
+
+Build one programmatically::
+
+    pipe = Pipeline().add("cleanup").add("decompose", max_support=10)
+    pipe.add(MyCustomPass())
+
+or declaratively from a dict/JSON config (the CLI's
+``--pipeline-config``)::
+
+    {"passes": ["cleanup", "dontcares",
+                {"pass": "decompose", "max_support": 10},
+                "finalize", "sweep", "strash", "sweep"]}
+
+``run()`` executes the passes in order with per-pass obs spans/metrics,
+asks the governor for a budget verdict at every pass boundary (latching
+exhaustion so downstream passes degrade deterministically), and — when
+given a checkpoint path — serialises the pipeline position plus the
+context's network state after every completed pass, so a killed run can
+be resumed with :func:`repro.engine.checkpoint.resume_pipeline`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Sequence, Union
+
+from repro import obs as _obs
+from repro.engine.context import SynthesisContext, SynthesisOptions
+from repro.engine.passes import Pass, make_pass
+
+PassLike = Union[str, Pass, dict]
+
+
+class Pipeline:
+    """An ordered, configurable sequence of synthesis passes."""
+
+    def __init__(self, passes: Sequence[PassLike] = ()) -> None:
+        self.passes: list[Pass] = []
+        for entry in passes:
+            self.add(entry)
+
+    # -- building ---------------------------------------------------------
+
+    def add(self, entry: PassLike, **params: Any) -> "Pipeline":
+        """Append a pass: a registered name (plus params), a config dict
+        (``{"pass": name, **params}``), or a ready pass object."""
+        if isinstance(entry, str):
+            self.passes.append(make_pass(entry, **params))
+        elif isinstance(entry, dict):
+            spec = dict(entry)
+            name = spec.pop("pass", None) or spec.pop("name", None)
+            if name is None:
+                raise ValueError(f"pass config needs a 'pass' key: {entry!r}")
+            spec.update(params)
+            self.passes.append(make_pass(name, **spec))
+        else:
+            if params:
+                raise ValueError("params only apply to passes given by name")
+            self.passes.append(entry)
+        return self
+
+    @classmethod
+    def from_config(cls, config: Union[dict, Sequence[PassLike]]) -> "Pipeline":
+        """Build from a dict (``{"passes": [...]}``) or a bare list.
+        Entries are pass names or ``{"pass": name, **params}`` dicts."""
+        entries = config.get("passes", []) if isinstance(config, dict) else config
+        return cls(entries)
+
+    def to_config(self) -> dict[str, Any]:
+        """Declarative form that :meth:`from_config` reconstructs (only
+        registered passes survive the round trip)."""
+        entries: list[Any] = []
+        for pass_ in self.passes:
+            if pass_.params:
+                entries.append({"pass": pass_.name, **pass_.params})
+            else:
+                entries.append(pass_.name)
+        return {"passes": entries}
+
+    def pass_names(self) -> list[str]:
+        return [pass_.name for pass_ in self.passes]
+
+    # -- running ----------------------------------------------------------
+
+    def run(
+        self,
+        context: SynthesisContext,
+        checkpoint: Optional[str] = None,
+        start: int = 0,
+        stop_after: Optional[str] = None,
+    ) -> SynthesisContext:
+        """Run passes ``start:`` over ``context``.
+
+        ``checkpoint`` (a path) persists pipeline position + network
+        state after every completed pass.  ``stop_after`` ends the run
+        cleanly after the named pass — with a checkpoint this stages a
+        long run the same way a kill would, minus the kill.
+        """
+        governor = context.governor
+        for index, pass_ in enumerate(self.passes):
+            if index < start:
+                continue
+            began = time.perf_counter()
+            with _obs.span(f"pipeline.{pass_.name}"):
+                pass_.run(context)
+            elapsed = time.perf_counter() - began
+            context.pass_log.append({"pass": pass_.name, "elapsed": elapsed})
+            # Pass-boundary budget check: latch exhaustion now so every
+            # remaining pass sees a consistent verdict.
+            exhausted = governor.out_of_budget()
+            if exhausted and context.rebuilt is None and not context.degraded:
+                # No rebuild in flight to degrade — record the fact so
+                # the report still says the run was cut short.
+                context.mark_degraded(governor.reason or "budget exhausted")
+            if _obs.enabled():
+                _obs.inc("pipeline.passes")
+                _obs.event(
+                    "pipeline.pass",
+                    index=index,
+                    pass_name=pass_.name,
+                    elapsed=elapsed,
+                    exhausted=exhausted,
+                )
+            if checkpoint is not None:
+                from repro.engine.checkpoint import save_checkpoint
+
+                save_checkpoint(checkpoint, self, context, index + 1)
+            if stop_after is not None and pass_.name == stop_after:
+                break
+        return context
+
+
+def standard_pipeline(options: Optional[SynthesisOptions] = None) -> Pipeline:
+    """The Algorithm 1 pipeline ``algorithm1()`` assembles: latch
+    cleanup, don't-care store, decompose loop, finalize, and the
+    sweep/strash/sweep structural cleanup."""
+    options = options or SynthesisOptions()
+    pipeline = Pipeline()
+    if options.preprocess_latches:
+        pipeline.add("cleanup")
+    if options.use_unreachable_states:
+        pipeline.add("dontcares")
+    pipeline.add("decompose")
+    pipeline.add("finalize")
+    pipeline.add("sweep")
+    pipeline.add("strash")
+    pipeline.add("sweep")
+    return pipeline

@@ -5,6 +5,11 @@ pre-processed to remove cloned, dead, and constant latches",
 Section 3.6), cover/primitive expansions used before technology mapping,
 structural hashing for sharing, and instantiation of decomposition trees
 back into the network.
+
+:func:`cleanup_latches`, :func:`sweep` and :func:`strash` are also
+exposed as registered pipeline passes (``"cleanup"``, ``"sweep"``,
+``"strash"``) through :mod:`repro.engine.passes`, so declarative
+pipeline configs can sequence them freely.
 """
 
 from __future__ import annotations

@@ -72,6 +72,17 @@ def cache_efficiency(report: dict[str, Any]) -> dict[str, dict[str, float]]:
     return result
 
 
+def pipeline_passes(report: dict[str, Any]) -> list[dict[str, Any]]:
+    """The ``pipeline.pass`` events of a snapshot, in execution order —
+    one row per completed pass with its wall time and whether a resource
+    budget was exhausted at that boundary."""
+    return [
+        event
+        for event in report.get("events", [])
+        if event.get("name") == "pipeline.pass"
+    ]
+
+
 def render_profile(report: dict[str, Any]) -> str:
     """Phase-time and cache-efficiency table for one snapshot."""
     lines: list[str] = []
@@ -95,6 +106,17 @@ def render_profile(report: dict[str, Any]) -> str:
             lines.append(
                 f"  {label:<48} {stat['count']:>7} {stat['total']:>9.3f} "
                 f"{1000 * stat['mean']:>9.3f}{share}"
+            )
+    passes = pipeline_passes(report)
+    if passes:
+        lines.append("")
+        lines.append("pipeline passes")
+        lines.append(f"  {'#':>3} {'pass':<16} {'elapsed(s)':>11} {'budget':>10}")
+        for row in passes:
+            status = "EXHAUSTED" if row.get("exhausted") else "ok"
+            lines.append(
+                f"  {int(row['index']):>3} {row['pass_name']:<16} "
+                f"{row['elapsed']:>11.3f} {status:>10}"
             )
     efficiency = cache_efficiency(report)
     if efficiency:

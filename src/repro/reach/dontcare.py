@@ -38,6 +38,7 @@ class DontCareManager:
         max_iterations: Optional[int] = None,
         time_budget: Optional[float] = None,
         strategy: str = "early",
+        governor=None,
     ) -> None:
         self.network = network
         self.partitions = list(
@@ -48,6 +49,13 @@ class DontCareManager:
         self.max_iterations = max_iterations
         self.time_budget = time_budget
         self.strategy = strategy
+        #: Optional :class:`repro.engine.governor.ResourceGovernor`.
+        #: When set, per-partition traversals run inside the governor's
+        #: global wall-clock/node budget (the per-partition
+        #: ``time_budget`` still caps each traversal individually), and
+        #: partitions whose traversal has not started by the time the
+        #: budget trips contribute no don't-care information.
+        self.governor = governor
         self._results: dict[int, ReachabilityResult] = {}
 
     def reachability(self, index: int) -> ReachabilityResult:
@@ -56,11 +64,15 @@ class DontCareManager:
         result = self._results.get(index)
         if result is None:
             ts = TransitionSystem(self.network, self.partitions[index].latches)
+            budget = self.time_budget
+            if self.governor is not None:
+                budget = self.governor.time_slice(budget)
             result = forward_reachable(
                 ts,
                 strategy=self.strategy,
                 max_iterations=self.max_iterations,
-                time_budget=self.time_budget,
+                time_budget=budget,
+                governor=self.governor,
             )
             self._results[index] = result
         return result
@@ -81,6 +93,14 @@ class DontCareManager:
         """
         care = TRUE
         for index in partitions_for_support(self.partitions, ps_support):
+            if (
+                self.governor is not None
+                and index not in self._results
+                and self.governor.out_of_budget()
+            ):
+                # Out of budget: an uncomputed partition contributes no
+                # information (sound — fewer don't cares, never wrong).
+                continue
             result = self.reachability(index)
             if not result.converged:
                 continue

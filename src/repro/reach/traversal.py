@@ -56,20 +56,25 @@ def forward_reachable(
     strategy: str = "early",
     max_iterations: Optional[int] = None,
     time_budget: Optional[float] = None,
+    governor=None,
 ) -> ReachabilityResult:
     """Least fixpoint of the image operator from the initial states.
 
     ``strategy`` is ``"early"`` (partitioned relation, early
-    quantification) or ``"monolithic"``.  If ``max_iterations`` or
-    ``time_budget`` stops the run early the result is marked
-    unconverged — its complement is still a sound unreachable-state
-    under-approximation *only* when treated per-partition (the reached
-    set is an over-approximation of what is reachable in bounded steps
-    but an under-approximation of nothing); callers therefore widen an
-    unconverged reached set to TRUE-equivalent semantics by checking
-    ``converged``.
+    quantification) or ``"monolithic"``.  If ``max_iterations``,
+    ``time_budget`` or an exhausted ``governor`` (a
+    :class:`repro.engine.governor.ResourceGovernor`, checked between
+    image steps; its node budget covers this traversal's manager) stops
+    the run early the result is marked unconverged — its complement is
+    still a sound unreachable-state under-approximation *only* when
+    treated per-partition (the reached set is an over-approximation of
+    what is reachable in bounded steps but an under-approximation of
+    nothing); callers therefore widen an unconverged reached set to
+    TRUE-equivalent semantics by checking ``converged``.
     """
     manager = ts.manager
+    if governor is not None:
+        governor.attach_manager(manager)
     track = _obs.enabled()
     start = time.perf_counter()
     with _obs.span("reach.fixpoint"):
@@ -95,6 +100,9 @@ def forward_reachable(
                 time_budget is not None
                 and time.perf_counter() - start > time_budget
             ):
+                converged = False
+                break
+            if governor is not None and governor.out_of_budget():
                 converged = False
                 break
             image_start = time.perf_counter()

@@ -11,103 +11,57 @@ Flow, as in the paper's pseudocode::
         apply bi-decomposition to interval;
     end while
 
-This implementation rebuilds the network sink by sink: each primary
-output and latch data input whose cone is small enough is collapsed to a
-BDD, widened with unreachable-state don't cares, variable-abstracted, and
-recursively bi-decomposed into simple primitives with sharing across
-signals; oversized cones are copied through structurally.
+Since the pass-pipeline refactor this module is a thin wrapper over
+:mod:`repro.engine`: :func:`algorithm1` assembles the standard pipeline
+(latch cleanup, don't-care store, decompose, finalize, sweep/strash) and
+runs it over a :class:`~repro.engine.context.SynthesisContext`.  Resource
+budgets (``time_budget``/``node_budget``) are enforced by the context's
+:class:`~repro.engine.governor.ResourceGovernor`: exhaustion downgrades
+the remaining cones to structural copy and marks the report ``degraded``
+instead of raising.  Custom pipelines, per-pass metrics, and
+checkpoint/resume live in :mod:`repro.engine`.
+
+``SynthesisOptions``, ``SignalRecord`` and ``SynthesisReport`` are
+re-exported from :mod:`repro.engine.context` for source compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro import obs as _obs
-from repro.bdd.manager import BDDManager, FALSE
-from repro.bidec.recursive import DecTree, decompose_recursive
-from repro.intervals import Interval
-from repro.network.bdd_build import ConeCollapser
-from repro.network.netlist import Network
-from repro.network.transform import (
-    cleanup_latches,
-    instantiate_dectree,
-    strash,
-    sweep,
+from repro.engine.context import (  # noqa: F401 - re-exported API
+    SignalRecord,
+    SynthesisContext,
+    SynthesisOptions,
+    SynthesisReport,
 )
-from repro.reach.dontcare import DontCareManager
-
-
-@dataclass
-class SynthesisOptions:
-    """Tuning knobs for Algorithm 1."""
-
-    #: Use unreachable-state don't cares (the paper's headline feature).
-    use_unreachable_states: bool = True
-    #: How to approximate unreachable states: "reachability" (the paper's
-    #: partitioned traversal) or "induction" (the cheaper [7]-style
-    #: inductive-invariant alternative, see repro.reach.induction).
-    dc_source: str = "reachability"
-    #: Latch-partition size cap (the paper uses ~100 with a native BDD
-    #: package; a pure-Python engine wants smaller partitions).
-    max_partition_size: int = 16
-    #: Per-partition traversal time budget in seconds.
-    reach_time_budget: Optional[float] = 20.0
-    #: Support size above which the greedy fallback replaces the
-    #: exhaustive symbolic enumeration.
-    max_support: int = 12
-    #: Cones with more inputs than this are kept structurally.
-    max_cone_inputs: int = 20
-    #: Decomposition gate repertoire.
-    gates: tuple[str, ...] = ("or", "and", "xor")
-    #: Partition-size objective ("balanced" or "min_total").
-    objective: str = "balanced"
-    #: Reuse equal functions across signals (Figure 3.2 sharing).
-    enable_sharing: bool = True
-    #: Select partitions by sharing at every recursion level (the full
-    #: Section 3.5.3 choice policy; slower than the default, which only
-    #: reuses equal functions at instantiation time).
-    sharing_choice: bool = False
-    #: Accept a rebuilt cone only if its cost is at most this multiple of
-    #: the original cone's literal estimate.
-    acceptance_ratio: float = 1.25
-    #: Run the Section 3.6 latch cleanup first.
-    preprocess_latches: bool = True
-    #: Overall time budget for the decomposition loop (seconds).
-    time_budget: Optional[float] = None
-
-
-@dataclass
-class SignalRecord:
-    """Per-signal outcome for reporting."""
-
-    signal: str
-    cone_inputs: int
-    action: str  # "decomposed" | "kept-cost" | "kept-large" | "copied"
-    tree_cost: Optional[int] = None
-    original_cost: Optional[int] = None
-
-
-@dataclass
-class SynthesisReport:
-    """Result of one Algorithm 1 run."""
-
-    network: Network
-    records: list[SignalRecord] = field(default_factory=list)
-    latch_cleanup: dict[str, int] = field(default_factory=dict)
-    runtime: float = 0.0
-
-    def decomposed(self) -> int:
-        return sum(1 for r in self.records if r.action == "decomposed")
+from repro.engine.governor import ResourceGovernor
+from repro.engine.pipeline import Pipeline, standard_pipeline
+from repro.network.netlist import Network
 
 
 def algorithm1(
-    network: Network, options: Optional[SynthesisOptions] = None
+    network: Network,
+    options: Optional[SynthesisOptions] = None,
+    *,
+    pipeline: Optional[Pipeline] = None,
+    governor: Optional[ResourceGovernor] = None,
+    checkpoint: Optional[str] = None,
 ) -> SynthesisReport:
-    """Run the Algorithm 1 optimisation loop on a copy of ``network``."""
+    """Run the Algorithm 1 optimisation loop on a copy of ``network``.
+
+    ``pipeline`` overrides the standard pass sequence, ``governor``
+    shares a resource budget across several runs (the re-synthesis loop
+    does this), and ``checkpoint`` persists pass-boundary state to a
+    JSON file that :func:`repro.engine.resume_pipeline` can pick up.
+    """
+    options = options or SynthesisOptions()
     with _obs.span("algorithm1.run"):
-        report = _algorithm1_impl(network, options)
+        context = SynthesisContext(network, options, governor=governor)
+        active = pipeline if pipeline is not None else standard_pipeline(options)
+        active.run(context, checkpoint=checkpoint)
+        report = context.to_report()
     if _obs.enabled():
         _obs.inc("algorithm1.runs")
         before = network.stats()
@@ -116,239 +70,6 @@ def algorithm1(
         _obs.set_gauge("algorithm1.literals.after", after["literals"])
         _obs.set_gauge("algorithm1.and_inv.before", before["and_inv"])
         _obs.set_gauge("algorithm1.and_inv.after", after["and_inv"])
+        if report.degraded:
+            _obs.inc("algorithm1.degraded")
     return report
-
-
-def _algorithm1_impl(
-    network: Network, options: Optional[SynthesisOptions]
-) -> SynthesisReport:
-    options = options or SynthesisOptions()
-    start = time.perf_counter()
-    source = network.copy()
-    cleanup_stats = (
-        cleanup_latches(source) if options.preprocess_latches else {}
-    )
-
-    dc_manager = None
-    if options.use_unreachable_states and source.latches:
-        if options.dc_source == "reachability":
-            dc_manager = DontCareManager(
-                source,
-                max_partition_size=options.max_partition_size,
-                time_budget=options.reach_time_budget,
-            )
-        elif options.dc_source == "induction":
-            from repro.reach.induction import InductiveInvariant
-
-            dc_manager = _InductionAdapter(InductiveInvariant(source))
-        else:
-            raise ValueError(f"unknown dc_source {options.dc_source!r}")
-
-    collapser = ConeCollapser(source, BDDManager())
-    rebuilt = Network(source.name)
-    for name in source.inputs:
-        rebuilt.add_input(name)
-    for latch in source.latches.values():
-        rebuilt.add_latch(latch.name, latch.data_in, latch.init)
-
-    share_table: dict[int, str] = {}
-    signal_map: dict[str, str] = {}
-    records: list[SignalRecord] = []
-
-    for sink in source.combinational_sinks():
-        if sink in source.inputs or sink in source.latches:
-            signal_map[sink] = sink
-            continue
-        if rebuilt.is_signal(sink):
-            # Already materialised as part of an earlier structural copy.
-            signal_map[sink] = sink
-            continue
-        if (
-            options.time_budget is not None
-            and time.perf_counter() - start > options.time_budget
-        ):
-            _copy_cone(source, rebuilt, sink)
-            signal_map[sink] = sink
-            records.append(_record(SignalRecord(sink, 0, "copied")))
-            continue
-        cone_inputs = source.cone_inputs(sink)
-        if len(cone_inputs) > options.max_cone_inputs:
-            _copy_cone(source, rebuilt, sink)
-            signal_map[sink] = sink
-            records.append(
-                _record(SignalRecord(sink, len(cone_inputs), "kept-large"))
-            )
-            continue
-        with _obs.span("algorithm1.collapse"):
-            f = collapser.node_function(sink)
-        unreachable = FALSE
-        if dc_manager is not None:
-            ps_support = {
-                name for name in cone_inputs if name in source.latches
-            }
-            if ps_support:
-                with _obs.span("algorithm1.dontcare"):
-                    unreachable = dc_manager.unreachable_for(
-                        ps_support, collapser.manager, collapser.var_of
-                    )
-        interval = Interval.with_dont_cares(collapser.manager, f, unreachable)
-        with _obs.span("algorithm1.decompose"):
-            if options.sharing_choice:
-                from repro.bidec.recursive import decompose_recursive_shared
-
-                tree = decompose_recursive_shared(
-                    interval,
-                    share_table,
-                    max_support=options.max_support,
-                    gates=options.gates,
-                )
-            else:
-                tree = decompose_recursive(
-                    interval,
-                    max_support=options.max_support,
-                    gates=options.gates,
-                    objective=options.objective,
-                )
-        original_cost = _cone_literals(source, sink)
-        tree_cost = tree.cost()
-        if tree_cost > options.acceptance_ratio * max(original_cost, 1):
-            _copy_cone(source, rebuilt, sink)
-            signal_map[sink] = sink
-            records.append(
-                _record(
-                    SignalRecord(
-                        sink, len(cone_inputs), "kept-cost", tree_cost, original_cost
-                    )
-                )
-            )
-            continue
-        var_to_signal = {
-            var: name for name, var in collapser.var_of.items()
-        }
-        use_sharing = options.enable_sharing or options.sharing_choice
-        with _obs.span("algorithm1.instantiate"):
-            new_signal = instantiate_dectree(
-                rebuilt,
-                tree,
-                var_to_signal,
-                sink,
-                share_table if use_sharing else None,
-            )
-        # Keep the sink's own name alive (primary-output names are part
-        # of the interface; sweep squeezes the alias out elsewhere).
-        rebuilt.add_node(sink, "buf", [new_signal])
-        signal_map[sink] = sink
-        records.append(
-            _record(
-                SignalRecord(
-                    sink, len(cone_inputs), "decomposed", tree_cost, original_cost
-                ),
-                tree,
-            )
-        )
-
-    for output in source.outputs:
-        rebuilt.add_output(signal_map.get(output, output))
-    for latch in rebuilt.latches.values():
-        latch.data_in = signal_map.get(latch.data_in, latch.data_in)
-    # Make sure structurally copied sinks that were never reached exist.
-    for sink in rebuilt.combinational_sinks():
-        if not rebuilt.is_signal(sink):
-            _copy_cone(source, rebuilt, sink)
-    sweep(rebuilt)
-    strash(rebuilt)
-    sweep(rebuilt)
-    return SynthesisReport(
-        network=rebuilt,
-        records=records,
-        latch_cleanup=cleanup_stats,
-        runtime=time.perf_counter() - start,
-    )
-
-
-def _record(record: SignalRecord, tree: Optional[DecTree] = None) -> SignalRecord:
-    """Publish one per-signal outcome to the obs registry (identity
-    passthrough when instrumentation is off).
-
-    Decomposed signals additionally contribute the accepted gate mix
-    (``algorithm1.gates.or/and/xor``) and the cost trajectory, and every
-    signal leaves an event so the per-signal literal/area trajectory can
-    be replayed from a report.
-    """
-    if not _obs.enabled():
-        return record
-    action = record.action.replace("-", "_")
-    _obs.inc("algorithm1.signals")
-    _obs.inc(f"algorithm1.signals.{action}")
-    if record.cone_inputs:
-        _obs.observe("algorithm1.cone.inputs", record.cone_inputs)
-    if record.tree_cost is not None:
-        _obs.observe("algorithm1.tree.cost", record.tree_cost)
-    if record.original_cost is not None:
-        _obs.observe("algorithm1.original.cost", record.original_cost)
-    if tree is not None:
-        gate_mix: dict[str, int] = {}
-        stack = [tree]
-        while stack:
-            node = stack.pop()
-            if node.op != "leaf":
-                gate_mix[node.op] = gate_mix.get(node.op, 0) + 1
-                stack.extend(node.children)
-        for gate, count in gate_mix.items():
-            _obs.inc(f"algorithm1.gates.{gate}", count)
-    _obs.event(
-        "algorithm1.signal",
-        signal=record.signal,
-        action=record.action,
-        cone_inputs=record.cone_inputs,
-        tree_cost=record.tree_cost,
-        original_cost=record.original_cost,
-    )
-    return record
-
-
-class _InductionAdapter:
-    """Presents an :class:`InductiveInvariant` through the
-    ``unreachable_for(ps_support, manager, var_of)`` interface of
-    :class:`DontCareManager`."""
-
-    def __init__(self, invariant) -> None:
-        self._invariant = invariant
-
-    def unreachable_for(self, ps_support, target, var_of):
-        relevant = {
-            name: var for name, var in var_of.items() if name in ps_support
-        }
-        return self._invariant.unreachable_for(target, relevant)
-
-
-def _copy_cone(source: Network, target: Network, sink: str) -> None:
-    """Structurally copy a sink's cone into the rebuilt network, keeping
-    original names (idempotent)."""
-    for name in source.topological_order():
-        if name not in source.transitive_fanin([sink]):
-            continue
-        if target.is_signal(name):
-            continue
-        node = source.nodes[name]
-        target.add_node(name, node.op, list(node.fanins), node.cover)
-
-
-def _cone_literals(network: Network, sink: str) -> int:
-    """Literal estimate of a sink's existing cone (nodes shared with other
-    cones are charged fully — the acceptance test is deliberately
-    conservative)."""
-    total = 0
-    cone = network.transitive_fanin([sink])
-    for name in cone:
-        node = network.nodes.get(name)
-        if node is None:
-            continue
-        if node.op == "cover":
-            assert node.cover is not None
-            total += node.cover.literal_count()
-        elif node.op in ("and", "or", "xor"):
-            total += len(node.fanins)
-        elif node.op == "not":
-            total += 1
-    return total

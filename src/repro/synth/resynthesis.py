@@ -7,6 +7,13 @@ of well-optimized designs."  This module implements that loop: Algorithm
 until the literal count stops improving (or a round budget runs out).
 Each round's input is already "well-optimized" by the previous one, so
 gains taper quickly; the loop keeps the best network seen.
+
+Like :func:`repro.synth.algorithm1.algorithm1`, this is a thin wrapper
+over the pass pipeline: every round assembles a standard pipeline, and a
+single :class:`~repro.engine.governor.ResourceGovernor` spans all rounds
+— the ``time_budget``/``node_budget`` options bound the *whole loop*,
+and a budget that trips mid-loop finishes the current round degraded and
+stops instead of raising.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.engine.governor import ResourceGovernor
 from repro.network.netlist import Network
 from repro.synth.algorithm1 import SynthesisOptions, SynthesisReport, algorithm1
 
@@ -26,6 +34,9 @@ class ResynthesisReport:
     #: Literal counts entering each round (index 0 = original).
     literal_trajectory: list[int] = field(default_factory=list)
     rounds: list[SynthesisReport] = field(default_factory=list)
+    #: True when a resource budget tripped during some round (that
+    #: round's result is valid but partially structural-copied).
+    degraded: bool = False
 
     def total_reduction(self) -> float:
         """Final/initial literal ratio (1.0 = no gain)."""
@@ -38,36 +49,51 @@ def resynthesis_loop(
     network: Network,
     options: Optional[SynthesisOptions] = None,
     max_rounds: int = 4,
+    governor: Optional[ResourceGovernor] = None,
 ) -> ResynthesisReport:
     """Iterate Algorithm 1 to a literal-count fixpoint.
 
     The first round uses the caller's options as given; later rounds
     force sharing-aware partition choice (the mechanism the paper points
     to for squeezing already-optimised logic) and disable latch
-    pre-processing (a no-op after round one).
+    pre-processing (a no-op after round one).  All rounds share one
+    resource governor, so ``options.time_budget``/``node_budget`` bound
+    the loop as a whole.
     """
     if options is None:
         options = SynthesisOptions()
+    if governor is None:
+        governor = ResourceGovernor(
+            time_budget=options.time_budget, node_budget=options.node_budget
+        )
     best = network
     best_literals = network.literal_count()
     trajectory = [best_literals]
     reports: list[SynthesisReport] = []
+    degraded = False
     current = network
     for round_index in range(max_rounds):
         round_options = SynthesisOptions(**vars(options))
         if round_index > 0:
             round_options.sharing_choice = True
             round_options.preprocess_latches = False
-        report = algorithm1(current, round_options)
+        report = algorithm1(current, round_options, governor=governor)
         reports.append(report)
+        degraded = degraded or report.degraded
         literals = report.network.literal_count()
         trajectory.append(literals)
         if literals < best_literals:
             best = report.network
             best_literals = literals
+        if report.degraded:
+            # Out of budget: further rounds would only structural-copy.
+            break
         if literals >= trajectory[-2]:
             break
         current = report.network
     return ResynthesisReport(
-        network=best, literal_trajectory=trajectory, rounds=reports
+        network=best,
+        literal_trajectory=trajectory,
+        rounds=reports,
+        degraded=degraded,
     )

@@ -57,6 +57,83 @@ class TestOptimize:
         out_path = str(tmp_path / "opt2.blif")
         assert main(["optimize", demo_path, "-o", out_path, "--no-states"]) == 0
 
+    def test_all_knobs_reachable(self, demo_path, tmp_path):
+        out_path = str(tmp_path / "opt3.blif")
+        assert main([
+            "optimize", demo_path, "-o", out_path,
+            "--dc-source", "induction", "--objective", "min_total",
+            "--max-support", "8", "--acceptance-ratio", "1.5",
+            "--no-sharing", "--cone-inputs", "10",
+        ]) == 0
+        assert outputs_equal(parse_blif(DEMO), read_blif(out_path), cycles=40)
+
+    def test_starved_budget_degrades_gracefully(self, demo_path, tmp_path, capsys):
+        out_path = str(tmp_path / "opt4.blif")
+        assert main([
+            "optimize", demo_path, "-o", out_path, "--time-budget", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded: time budget exhausted" in out
+        assert outputs_equal(parse_blif(DEMO), read_blif(out_path), cycles=40)
+
+    def test_pipeline_config(self, demo_path, tmp_path, capsys):
+        config = tmp_path / "pipe.json"
+        config.write_text(
+            '{"options": {"use_unreachable_states": false},'
+            ' "passes": ["cleanup", "decompose", "finalize",'
+            ' "sweep", "strash", "sweep"]}'
+        )
+        out_path = str(tmp_path / "opt5.blif")
+        assert main([
+            "optimize", demo_path, "-o", out_path,
+            "--pipeline-config", str(config),
+        ]) == 0
+        assert outputs_equal(parse_blif(DEMO), read_blif(out_path), cycles=40)
+
+    def test_checkpoint_and_resume(self, demo_path, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ck.json")
+        out_path = str(tmp_path / "opt6.blif")
+        assert main([
+            "optimize", demo_path, "-o", out_path,
+            "--checkpoint", checkpoint,
+        ]) == 0
+        first = capsys.readouterr().out
+        resumed_path = str(tmp_path / "opt7.blif")
+        assert main([
+            "optimize", demo_path, "-o", resumed_path,
+            "--checkpoint", checkpoint, "--resume",
+        ]) == 0
+        assert outputs_equal(
+            read_blif(out_path), read_blif(resumed_path), cycles=40
+        )
+        assert "wrote" in first
+
+    def test_resume_without_checkpoint_errors(self, demo_path, tmp_path):
+        out_path = str(tmp_path / "opt8.blif")
+        assert main(["optimize", demo_path, "-o", out_path, "--resume"]) == 1
+        assert main([
+            "optimize", demo_path, "-o", out_path,
+            "--resume", "--checkpoint", str(tmp_path / "missing.json"),
+        ]) == 1
+
+
+class TestResynth:
+    def test_resynth_roundtrip(self, demo_path, tmp_path, capsys):
+        out_path = str(tmp_path / "resynth.blif")
+        assert main(["resynth", demo_path, "-o", out_path,
+                     "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "literal trajectory:" in out and "->" in out
+        assert "round(s)" in out
+        assert outputs_equal(parse_blif(DEMO), read_blif(out_path), cycles=40)
+
+    def test_resynth_profile_flag(self, demo_path, tmp_path, capsys):
+        out_path = str(tmp_path / "resynth2.blif")
+        assert main(["resynth", demo_path, "-o", out_path,
+                     "--rounds", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline passes" in out
+
 
 class TestMap:
     def test_map(self, demo_path, capsys):

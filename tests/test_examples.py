@@ -47,6 +47,14 @@ class TestExamples:
         assert "area ratio" in out
         assert "with states" in out
 
+    def test_custom_pipeline(self):
+        out = run_example("custom_pipeline.py", "s344")
+        assert "custom pipeline:" in out
+        assert "census artifact" in out
+        assert '"passes"' in out
+        assert "degraded: node budget exhausted" in out
+        assert "matches uninterrupted run" in out
+
     @pytest.mark.slow
     def test_custom_library(self):
         out = run_example("custom_library.py")

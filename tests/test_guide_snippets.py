@@ -99,6 +99,34 @@ class TestGuideSnippets:
         assert outputs_equal(net, report.network, cycles=24)
         assert report.runtime >= 0
 
+    def test_pipeline_snippet(self):
+        from repro.benchgen import iscas_analog
+        from repro.engine import Pipeline, SynthesisOptions
+        from repro.network import outputs_equal
+        from repro.synth import algorithm1
+
+        net = iscas_analog("s344")
+        pipeline = Pipeline(
+            [
+                "cleanup",
+                {"pass": "decompose", "max_support": 9},
+                "finalize",
+                "sweep",
+                "strash",
+                "sweep",
+            ]
+        )
+        report = algorithm1(net, SynthesisOptions(), pipeline=pipeline)
+        assert outputs_equal(net, report.network, cycles=24)
+        assert not report.degraded
+
+        config = pipeline.to_config()
+        assert Pipeline.from_config(config).pass_names() == pipeline.pass_names()
+
+        starved = algorithm1(net, SynthesisOptions(node_budget=40))
+        assert starved.degraded and "node budget" in starved.degrade_reason
+        assert outputs_equal(net, starved.network, cycles=24)
+
     def test_observability_snippet(self):
         from repro import obs
         from repro.bdd import BDDManager

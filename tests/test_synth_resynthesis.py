@@ -70,3 +70,56 @@ class TestResynthesisLoop:
             net, SynthesisOptions(max_partition_size=6), max_rounds=1
         )
         assert len(report.rounds) == 1
+
+    def test_best_network_kept_when_later_round_regresses(self, monkeypatch):
+        """If a round makes the literal count worse, the loop stops and
+        returns the best network seen, not the last one."""
+        from repro.synth import SynthesisReport
+        from repro.synth import resynthesis as resynth_module
+
+        net = circuit(seed=3)
+        initial = net.literal_count()
+
+        # Fake Algorithm 1: first round strips a node (improves), second
+        # round duplicates logic (regresses).
+        def fake_algorithm1(network, options=None, **kwargs):
+            result = network.copy()
+            if not fake_algorithm1.calls:
+                victim = next(
+                    name for name in result.topological_order()
+                    if name in result.nodes
+                    and name not in result.outputs
+                    and result.nodes[name].op in ("and", "or")
+                    and len(result.nodes[name].fanins) > 1
+                )
+                node = result.nodes[victim]
+                node.fanins = node.fanins[:1]
+            else:
+                for sink in list(result.outputs):
+                    clone = result.fresh_name("bloat")
+                    result.add_node(clone, "and", [sink, sink])
+                    result.add_output(clone)
+            fake_algorithm1.calls.append(result.literal_count())
+            return SynthesisReport(network=result)
+
+        fake_algorithm1.calls = []
+        monkeypatch.setattr(resynth_module, "algorithm1", fake_algorithm1)
+        report = resynthesis_loop(net, max_rounds=4)
+        improved, regressed = fake_algorithm1.calls
+        assert improved < initial < regressed
+        # Trajectory shows the regression; the best network wins.
+        assert report.literal_trajectory == [initial, improved, regressed]
+        assert report.network.literal_count() == improved
+        assert len(report.rounds) == 2
+
+    def test_degraded_round_stops_loop(self):
+        net = circuit(seed=9)
+        report = resynthesis_loop(
+            net,
+            SynthesisOptions(max_partition_size=6, time_budget=0.0),
+            max_rounds=4,
+        )
+        assert report.degraded
+        assert len(report.rounds) == 1
+        # Budget-starved loop still returns a valid, equivalent network.
+        assert outputs_equal(net, report.network, cycles=40)
