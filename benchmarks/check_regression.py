@@ -11,6 +11,14 @@ predate per-round timing.  Tests present on only one side are reported
 and skipped: new benchmarks must not fail the gate the run that
 introduces them, and retired ones must not block their own removal.
 
+Records also carry an ``instrumented`` flag (did obs collection run
+during the timed rounds?).  Tracing and the runtime monitor are off by
+default, and the committed substrate baselines are measured that way;
+when the two sides of a comparison disagree on instrumentation the gate
+*skips* that test with a loud note rather than flag a bogus regression
+(or, worse, bless an instrumented baseline).  Entries written before the
+flag existed are treated as matching.
+
 Usage::
 
     python benchmarks/check_regression.py BASELINE CURRENT [--threshold 0.25]
@@ -37,10 +45,22 @@ def entry_time(entry: dict) -> tuple[float, str]:
     return float(entry["wall_time"]), "wall_time"
 
 
+def instrumentation_mismatch(base_entry: dict, cur_entry: dict) -> bool:
+    """True when the two records disagree on whether obs instrumentation
+    was live during timing (missing flags — pre-flag baselines — count
+    as matching)."""
+    base_flag = base_entry.get("instrumented")
+    cur_flag = cur_entry.get("instrumented")
+    if base_flag is None or cur_flag is None:
+        return False
+    return bool(base_flag) != bool(cur_flag)
+
+
 def compare(
     baseline: dict[str, dict], current: dict[str, dict], threshold: float
 ) -> int:
     regressions = []
+    mismatched = []
     width = max((len(name) for name in current), default=4)
     print(f"{'test':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}  signal")
     for name in sorted(current):
@@ -50,6 +70,12 @@ def compare(
             continue
         base_entry = baseline[name]
         cur_entry = current[name]
+        if instrumentation_mismatch(base_entry, cur_entry):
+            mismatched.append(name)
+            side = "current" if cur_entry.get("instrumented") else "baseline"
+            print(f"{name:<{width}}  {'—':>10}  {'—':>10}  {'n/a':>7}  "
+                  f"(skipped: {side} run instrumented, timings not comparable)")
+            continue
         cur_time, cur_signal = entry_time(cur_entry)
         # Only compare like with like: fall back to wall_time when the
         # baseline predates per-round timing.
@@ -67,6 +93,12 @@ def compare(
     removed = sorted(set(baseline) - set(current))
     if removed:
         print(f"absent from current run (skipped): {', '.join(removed)}")
+    if mismatched:
+        print(f"\nWARNING: {len(mismatched)} test(s) skipped because the "
+              f"instrumented flag differs between runs: "
+              f"{', '.join(mismatched)}.\n"
+              f"Re-run the benchmarks with tracing/monitoring off (the "
+              f"default; REPRO_BENCH_OBS unset) to get comparable numbers.")
     if regressions:
         print(f"\nFAIL: {len(regressions)} test(s) regressed beyond "
               f"{100 * threshold:.0f}%:")

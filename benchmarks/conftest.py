@@ -149,9 +149,16 @@ def _benchmark_timing(request) -> dict | None:
 
 def record_bench_json(module: str, test: str, wall_time: float,
                       metrics: dict | None,
-                      timing: dict | None = None) -> Path:
+                      timing: dict | None = None,
+                      instrumented: bool | None = None) -> Path:
     """Append one test's record to ``results/BENCH_<module>.json``
-    (restarting the file once per session, like the text tables)."""
+    (restarting the file once per session, like the text tables).
+
+    ``instrumented`` records whether obs collection was live during the
+    timed run — the regression gate refuses to compare instrumented
+    timings against uninstrumented baselines, since tracing/monitoring
+    is off by default and the committed numbers assume that.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     experiment = module.removeprefix("bench_")
     path = RESULTS_DIR / f"BENCH_{experiment}.json"
@@ -167,6 +174,8 @@ def record_bench_json(module: str, test: str, wall_time: float,
     }
     if timing is not None:
         entry["timing"] = timing
+    if instrumented is not None:
+        entry["instrumented"] = instrumented
     payload["entries"].append(entry)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
@@ -199,4 +208,5 @@ def _bench_run_record(request):
         record_bench_json(
             module, request.node.name, wall, metrics,
             timing=_benchmark_timing(request),
+            instrumented=instrumented,
         )

@@ -8,7 +8,9 @@ snapshot three ways:
 1. the phase-timing / cache-efficiency table (what ``repro profile``
    and the ``--profile`` CLI flag print),
 2. a few headline numbers pulled straight out of the snapshot dict,
-3. a machine-readable JSON report, as written by ``--stats-json``.
+3. a machine-readable JSON report, as written by ``--stats-json``,
+4. a Chrome trace-event timeline (open it in https://ui.perfetto.dev)
+   plus its self-time summary, as recorded by ``--trace``.
 
 Run:  python examples/profiling.py [bench] [report.json]
 """
@@ -19,6 +21,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.benchgen import iscas_analog
+from repro.obs import trace as obs_trace
 from repro.synth import SynthesisOptions, algorithm1
 
 
@@ -27,9 +30,11 @@ def main() -> None:
     network = iscas_analog(bench)
 
     # Instrumentation is off by default and costs one boolean check per
-    # probe while disabled; obs.scope() turns it on for just this block.
+    # probe while disabled; obs.tracing() turns it on for just this
+    # block *and* installs a trace recorder, so the run leaves both an
+    # aggregated snapshot and a scrub-able timeline.
     obs.reset()
-    with obs.scope():
+    with obs.tracing() as recorder:
         report = algorithm1(
             network,
             SynthesisOptions(use_unreachable_states=True),
@@ -64,6 +69,17 @@ def main() -> None:
         out = Path(tempfile.gettempdir()) / f"profile_{bench}.json"
     obs.write_report(out, snapshot, extra={"bench": bench})
     print(f"\nreport written to {out}")
+
+    # The same run, as a timeline: write the Chrome trace and digest it
+    # the way `repro trace` does — top spans by self time.
+    trace_out = out.with_suffix(".trace")
+    recorder.write(trace_out)
+    print(f"trace written to {trace_out} "
+          f"({len(recorder.records())} records, {recorder.dropped} dropped)"
+          f" — open in https://ui.perfetto.dev")
+    summary = obs_trace.summarize(recorder.records())
+    print()
+    print(obs_trace.render_summary(summary, recorder.metadata(), top=5))
     obs.reset()
 
 

@@ -208,6 +208,27 @@ class BDDManager:
             "and_exists": len(self._and_exists_cache),
         }
 
+    def monitor_sample(self) -> dict[str, int]:
+        """Cheap structural gauges for the runtime monitor: node/unique
+        counts and the summed cache entries.  Reads only ``len()`` of
+        existing containers, so it is safe to call from a sampler thread
+        while operator cores are running."""
+        return {
+            "nodes": self.num_nodes,
+            "unique": len(self._unique),
+            "cache_entries": (
+                len(self._ite_cache)
+                + len(self._and_cache)
+                + len(self._or_cache)
+                + len(self._xor_cache)
+                + len(self._not_cache)
+                + len(self._exists_cache)
+                + len(self._forall_cache)
+                + len(self._and_exists_cache)
+            ),
+            "vars": self.num_vars,
+        }
+
     def stats_snapshot(self) -> dict[str, int]:
         """Point-in-time statistics: structure gauges plus (when tracked)
         the operation counters."""

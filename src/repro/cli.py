@@ -34,10 +34,24 @@ Commands
     cache-efficiency table (``TARGET`` is a netlist path or a known
     benchmark name).
 
+``trace FILE``
+    Summarize a recorded trace (top spans by self time, counter tracks,
+    unclosed spans) and optionally convert JSONL to Chrome trace-event
+    JSON with ``--convert OUT``.
+
 The ``optimize``, ``reach``, ``decompose`` and ``map`` commands accept
 ``--profile`` (print the table after the run) and ``--stats-json PATH``
 (write the machine-readable metrics report); either flag turns the
 :mod:`repro.obs` instrumentation on for the run.
+
+The long-run commands (``optimize``, ``resynth``, ``profile``) also
+accept ``--trace FILE`` (record a span/counter timeline, Chrome JSON or
+``.jsonl``), ``--status-file PATH`` (atomically rewritten heartbeat a
+watcher can poll) and ``--monitor-interval SECS`` (sampling period of
+the runtime monitor; ``0`` disables it).  On an unhandled exception any
+instrumented command writes a crash-diagnostic bundle (exception +
+traceback, obs report, trace tail, BDD manager stats, latest checkpoint
+path) before re-raising; ``--crash-dump PATH`` sets its location.
 """
 
 from __future__ import annotations
@@ -100,6 +114,111 @@ def _obs_finish(args: argparse.Namespace, active: bool, **run_info) -> None:
         print(f"wrote {args.stats_json}")
     if getattr(args, "profile", False):
         print(obs.render_profile(report))
+
+
+class _Diagnostics:
+    """Per-command tracing/monitoring lifecycle for the CLI flags."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro import obs
+        from repro.obs import crashdump
+        from repro.obs import trace as obs_trace
+
+        self.trace_path = getattr(args, "trace", None)
+        status_file = getattr(args, "status_file", None)
+        interval = getattr(args, "monitor_interval", 1.0)
+        self.recorder = None
+        self.monitor = None
+        self._enabled_obs = False
+        crashdump.clear_crash_context()
+        crashdump.set_crash_context(command=getattr(args, "command", None))
+        # Tracing rides the obs switch: enable it (without clobbering a
+        # --profile/--stats-json reset that already happened) so spans
+        # and manager stats are collected.
+        if not obs.enabled():
+            obs.reset()
+            obs.enable()
+            self._enabled_obs = True
+        if self.trace_path:
+            self.recorder = obs_trace.install()
+        if interval and interval > 0 and (self.trace_path or status_file):
+            from repro.obs import RuntimeMonitor
+
+            self.monitor = RuntimeMonitor(
+                interval=interval,
+                status_file=status_file,
+                recorder=self.recorder,
+            )
+            self.monitor.start()
+
+    def make_governor(self, options) -> "object | None":
+        """A governor built from the options' budgets, registered with
+        the monitor so status samples show remaining budget."""
+        from repro.engine import ResourceGovernor
+
+        governor = ResourceGovernor(
+            time_budget=options.time_budget, node_budget=options.node_budget
+        )
+        if self.monitor is not None:
+            self.monitor.governor = governor
+        return governor
+
+    def finish(self) -> None:
+        from repro import obs
+        from repro.obs import trace as obs_trace
+
+        if self.monitor is not None:
+            self.monitor.stop()
+            if self.monitor.status_file is not None:
+                print(f"wrote {self.monitor.status_file}")
+        if self.recorder is not None:
+            obs_trace.uninstall()
+            written = self.recorder.write(self.trace_path)
+            print(
+                f"wrote {written} ({len(self.recorder.records())} trace "
+                f"records, {self.recorder.dropped} dropped)"
+            )
+        if self._enabled_obs:
+            obs.disable()
+
+    def abort(self) -> None:
+        """Crash-path teardown: stop the sampler thread and uninstall
+        the tracer without the success-path chatter (the crash handler
+        has already flushed the partial trace)."""
+        from repro import obs
+        from repro.obs import trace as obs_trace
+
+        if self.monitor is not None:
+            self.monitor.stop()
+        if self.recorder is not None:
+            obs_trace.uninstall()
+        if self._enabled_obs:
+            obs.disable()
+
+
+#: The diagnostics of the currently-running CLI command, so the crash
+#: handler can tear down the sampler thread and tracer it started.
+_ACTIVE_DIAG: "_Diagnostics | None" = None
+
+
+def _diag_begin(args: argparse.Namespace) -> "_Diagnostics | None":
+    """Start tracing/monitoring when any of the diagnostic flags was
+    given (after :func:`_obs_begin`, whose reset must come first)."""
+    global _ACTIVE_DIAG
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "status_file", None)
+    ):
+        _ACTIVE_DIAG = _Diagnostics(args)
+        return _ACTIVE_DIAG
+    return None
+
+
+def _diag_finish(diag: "_Diagnostics | None") -> None:
+    global _ACTIVE_DIAG
+    if diag is not None:
+        diag.finish()
+    _ACTIVE_DIAG = None
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -172,6 +291,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.synth import algorithm1
 
     obs_active = _obs_begin(args)
+    diag = _diag_begin(args)
     network = _load(args.file)
     options = _synthesis_options(args)
     if args.resume:
@@ -194,8 +314,13 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                 config.get("options", {}), base=options
             )
             pipeline = Pipeline.from_config(config)
+        governor = diag.make_governor(options) if diag else None
         report = algorithm1(
-            network, options, pipeline=pipeline, checkpoint=args.checkpoint
+            network,
+            options,
+            pipeline=pipeline,
+            governor=governor,
+            checkpoint=args.checkpoint,
         )
     if not outputs_equal(network, report.network, cycles=32):
         print("ERROR: random simulation found a mismatch", file=sys.stderr)
@@ -210,6 +335,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(f"degraded: {report.degrade_reason}")
     _save(report.network, args.output)
     print(f"wrote {args.output}")
+    _diag_finish(diag)
     _obs_finish(
         args,
         obs_active,
@@ -229,9 +355,12 @@ def cmd_resynth(args: argparse.Namespace) -> int:
     from repro.synth import resynthesis_loop
 
     obs_active = _obs_begin(args)
+    diag = _diag_begin(args)
     network = _load(args.file)
+    options = _synthesis_options(args)
+    governor = diag.make_governor(options) if diag else None
     report = resynthesis_loop(
-        network, _synthesis_options(args), max_rounds=args.rounds
+        network, options, max_rounds=args.rounds, governor=governor
     )
     if not outputs_equal(network, report.network, cycles=32):
         print("ERROR: random simulation found a mismatch", file=sys.stderr)
@@ -247,6 +376,7 @@ def cmd_resynth(args: argparse.Namespace) -> int:
         print("degraded: resource budget exhausted mid-loop")
     _save(report.network, args.output)
     print(f"wrote {args.output}")
+    _diag_finish(diag)
     _obs_finish(
         args,
         obs_active,
@@ -458,6 +588,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     obs.reset()
     obs.enable()
+    diag = _diag_begin(args)
     start = time.perf_counter()
     if Path(args.target).exists():
         network = _load(args.target)
@@ -509,6 +640,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     else:
         raise ValueError(f"unknown workload {args.workload!r}")
     run_info["wall_time"] = time.perf_counter() - start
+    _diag_finish(diag)
     obs.disable()
     snapshot = obs.report()
     snapshot["run"] = run_info
@@ -521,6 +653,62 @@ def cmd_profile(args: argparse.Namespace) -> int:
         obs.write_report(args.stats_json, snapshot)
         print(f"wrote {args.stats_json}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import trace as obs_trace
+
+    records, metadata = obs_trace.load_trace(args.file)
+    if not records:
+        print(f"no trace records in {args.file}", file=sys.stderr)
+        return 1
+    if args.convert:
+        payload = obs_trace.records_to_chrome(records, metadata=metadata)
+        target = Path(args.convert)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload) + "\n")
+        print(f"wrote {target} ({len(records)} records)")
+    summary = obs_trace.summarize(records)
+    print(obs_trace.render_summary(summary, metadata, top=args.top))
+    return 0
+
+
+def _write_crash_diagnostics(args: argparse.Namespace, exc: BaseException) -> None:
+    """Best-effort crash bundle + trace flush for instrumented runs.
+
+    Only fires when the command opted into diagnostics (any of the
+    trace/monitor/profile/stats flags, or an explicit ``--crash-dump``)
+    so plain CLI usage never litters the working directory."""
+    from repro.obs import crashdump
+    from repro.obs import trace as obs_trace
+
+    recorder = obs_trace.active()
+    trace_path = getattr(args, "trace", None)
+    if recorder is not None and trace_path:
+        # Flush the ring buffer so the timeline up to the crash survives.
+        try:
+            recorder.write(trace_path)
+            print(f"wrote {trace_path} (partial trace)", file=sys.stderr)
+        except Exception:
+            pass
+    dump = getattr(args, "crash_dump", None)
+    if dump is None:
+        instrumented = trace_path or any(
+            getattr(args, flag, None)
+            for flag in ("status_file", "stats_json", "checkpoint")
+        ) or getattr(args, "profile", False)
+        if not instrumented:
+            return
+        dump = f"repro_crash_{getattr(args, 'command', 'run')}.json"
+    written = crashdump.write_crash_bundle(dump, exc)
+    if written is not None:
+        print(f"crash bundle written to {written}", file=sys.stderr)
+    global _ACTIVE_DIAG
+    if _ACTIVE_DIAG is not None:
+        _ACTIVE_DIAG.abort()
+        _ACTIVE_DIAG = None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -538,6 +726,29 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--stats-json", metavar="PATH", default=None,
             help="collect metrics and write the JSON report to PATH",
+        )
+
+    def add_trace_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="record a span/counter timeline to FILE (Chrome "
+                 "trace-event JSON; use a .jsonl suffix for JSONL)",
+        )
+        command.add_argument(
+            "--status-file", metavar="PATH", default=None,
+            help="atomically rewrite a status.json heartbeat every "
+                 "monitor interval",
+        )
+        command.add_argument(
+            "--monitor-interval", type=float, default=1.0, metavar="SECS",
+            help="runtime-monitor sampling period (default 1.0; 0 "
+                 "disables sampling)",
+        )
+        command.add_argument(
+            "--crash-dump", metavar="PATH", default=None,
+            help="where to write the crash-diagnostic bundle on an "
+                 "unhandled exception (default: repro_crash_<cmd>.json "
+                 "for instrumented runs)",
         )
 
     p = sub.add_parser("stats", help="netlist statistics")
@@ -592,6 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from the --checkpoint file instead of "
                         "starting over")
     add_obs_flags(p)
+    add_trace_flags(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser(
@@ -604,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maximum re-synthesis rounds")
     add_synthesis_flags(p)
     add_obs_flags(p)
+    add_trace_flags(p)
     p.set_defaults(func=cmd_resynth)
 
     p = sub.add_parser("map", help="technology mapping")
@@ -640,7 +853,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=None)
     p.add_argument("--stats-json", metavar="PATH", default=None,
                    help="also write the JSON report to PATH")
+    add_trace_flags(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize or convert a recorded trace file",
+    )
+    p.add_argument("file", help="trace file (Chrome JSON or JSONL)")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many spans to list by self time")
+    p.add_argument("--convert", metavar="OUT", default=None,
+                   help="also write the records as Chrome trace-event "
+                        "JSON to OUT (JSONL -> Chrome conversion)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("check", help="equivalence check two netlists")
     p.add_argument("left")
@@ -673,7 +899,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        # Crash diagnostics for instrumented runs: bundle + partial
+        # trace flush, then the exception propagates unchanged.
+        try:
+            _write_crash_diagnostics(args, exc)
+        except Exception:  # pragma: no cover - diagnostics must not mask
+            pass
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests/main

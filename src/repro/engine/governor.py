@@ -19,6 +19,8 @@ from __future__ import annotations
 import time
 from typing import Any, Optional
 
+from repro import obs as _obs
+
 
 class ResourceGovernor:
     """Tracks elapsed wall-clock time and BDD nodes allocated across all
@@ -82,24 +84,38 @@ class ResourceGovernor:
         if self._reason is not None:
             return True
         if self.time_budget is not None and self.elapsed() > self.time_budget:
-            self._reason = (
-                f"time budget exhausted ({self.time_budget:.3g}s)"
-            )
+            self._latch(f"time budget exhausted ({self.time_budget:.3g}s)")
             return True
         if (
             self.node_budget is not None
             and self.nodes_allocated() > self.node_budget
         ):
-            self._reason = (
-                f"node budget exhausted ({self.node_budget} nodes)"
-            )
+            self._latch(f"node budget exhausted ({self.node_budget} nodes)")
             return True
         return False
 
     def mark_exhausted(self, reason: str) -> None:
         """Latch exhaustion explicitly (first reason wins)."""
         if self._reason is None:
-            self._reason = reason
+            self._latch(reason)
+
+    def _latch(self, reason: str) -> None:
+        """Record the first exhaustion and make the moment attributable:
+        a ``governor.exhausted`` obs event (mirrored into any installed
+        trace) tagged with the span path that was live when the budget
+        tripped — typically ``pipeline.<pass>/...``."""
+        self._reason = reason
+        if _obs.enabled():
+            _obs.inc("governor.exhausted")
+            _obs.event(
+                "governor.exhausted",
+                reason=reason,
+                span=_obs.current_span_path(),
+                elapsed=round(self.elapsed(), 6),
+                nodes=self.nodes_allocated(),
+                time_budget=self.time_budget,
+                node_budget=self.node_budget,
+            )
 
     @property
     def exhausted(self) -> bool:

@@ -97,13 +97,32 @@ class Pipeline:
         cleanly after the named pass — with a checkpoint this stages a
         long run the same way a kill would, minus the kill.
         """
+        from repro.obs import crashdump as _crash
+
         governor = context.governor
         for index, pass_ in enumerate(self.passes):
             if index < start:
                 continue
+            # Crash context is cheap and makes a post-mortem bundle name
+            # the live pass even when the failure is deep inside it.
+            _crash.set_crash_context(
+                pipeline_pass=pass_.name,
+                pipeline_index=index,
+                pipeline_passes=self.pass_names(),
+            )
             began = time.perf_counter()
-            with _obs.span(f"pipeline.{pass_.name}"):
-                pass_.run(context)
+            try:
+                with _obs.span(f"pipeline.{pass_.name}"):
+                    pass_.run(context)
+            except Exception as exc:
+                if _obs.enabled():
+                    _obs.event(
+                        "pipeline.crash",
+                        index=index,
+                        pass_name=pass_.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                raise
             elapsed = time.perf_counter() - began
             context.pass_log.append({"pass": pass_.name, "elapsed": elapsed})
             # Pass-boundary budget check: latch exhaustion now so every
@@ -126,6 +145,9 @@ class Pipeline:
                 from repro.engine.checkpoint import save_checkpoint
 
                 save_checkpoint(checkpoint, self, context, index + 1)
+                _crash.set_crash_context(
+                    checkpoint=str(checkpoint), checkpoint_next_pass=index + 1
+                )
             if stop_after is not None and pass_.name == stop_after:
                 break
         return context

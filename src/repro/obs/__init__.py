@@ -35,11 +35,16 @@ from repro.obs.registry import (
     track_bdd_manager,
 )
 from repro.obs.reporting import cache_efficiency, render_profile, write_report
+from repro.obs.trace import TraceRecorder, tracing
+from repro.obs.monitor import RuntimeMonitor
+from repro.obs.crashdump import set_crash_context, write_crash_bundle
 
 __all__ = [
     "Histogram",
     "Registry",
+    "RuntimeMonitor",
     "SpanStat",
+    "TraceRecorder",
     "cache_efficiency",
     "current_span_path",
     "disable",
@@ -53,8 +58,11 @@ __all__ = [
     "report",
     "reset",
     "scope",
+    "set_crash_context",
     "set_gauge",
     "span",
     "track_bdd_manager",
+    "tracing",
+    "write_crash_bundle",
     "write_report",
 ]

@@ -32,6 +32,22 @@ MAX_EVENTS = 1024
 
 _enabled = False
 
+#: Installed :class:`repro.obs.trace.TraceRecorder` (or ``None``).  Span
+#: begin/end and events are mirrored into it; kept here (not in
+#: ``trace``) so the span fast path needs no cross-module import.
+_tracer = None
+
+
+def set_tracer(recorder) -> None:
+    """Install (or with ``None``, remove) the process-wide trace sink."""
+    global _tracer
+    _tracer = recorder
+
+
+def tracer():
+    """The installed trace recorder, or ``None``."""
+    return _tracer
+
 
 def enabled() -> bool:
     """Whether instrumentation is currently collected."""
@@ -170,6 +186,14 @@ class Registry:
         self.histograms: dict[str, Histogram] = {}
         self.spans: dict[str, SpanStat] = {}
         self.events: deque[dict[str, Any]] = deque(maxlen=MAX_EVENTS)
+        #: Events the bounded deque silently displaced (surfaced as the
+        #: ``obs.events_dropped`` counter so truncation is visible).
+        self.events_dropped = 0
+        #: Every thread's live span stack, keyed by thread id — the
+        #: stacks themselves are only mutated by their owning thread
+        #: (via the thread-local handle); this index lets the runtime
+        #: monitor *read* other threads' current paths.
+        self._thread_stacks: dict[int, list[str]] = {}
         # BDD managers keep local counters (see repro.bdd.manager); live
         # ones are aggregated at report time, finalized ones flush their
         # totals here so no work is lost when scratch managers die.
@@ -206,7 +230,12 @@ class Registry:
         entry = {"name": name, "t": round(time.perf_counter() - self._epoch, 6)}
         entry.update(fields)
         with self._lock:
+            if len(self.events) == self.events.maxlen:
+                self.events_dropped += 1
             self.events.append(entry)
+        recorder = _tracer
+        if recorder is not None:
+            recorder.instant(name, fields or None)
 
     # -- span stack -----------------------------------------------------
 
@@ -214,10 +243,20 @@ class Registry:
         stack = getattr(self._tls, "stack", None)
         if stack is None:
             stack = self._tls.stack = []
+            self._thread_stacks[threading.get_ident()] = stack
         return stack
 
     def current_span_path(self) -> str:
         return "/".join(self.span_stack())
+
+    def active_span_paths(self) -> dict[int, str]:
+        """Current ``/``-joined span path of every thread with an open
+        span (racy snapshot — safe to call from a monitor thread)."""
+        return {
+            tid: "/".join(stack)
+            for tid, stack in list(self._thread_stacks.items())
+            if stack
+        }
 
     # -- BDD manager aggregation ----------------------------------------
 
@@ -244,6 +283,11 @@ class Registry:
             peak = snapshot.get("unique.inserts", 0) + 2
             if peak > self._bdd_peak_nodes:
                 self._bdd_peak_nodes = peak
+
+    def live_bdd_managers(self) -> list[Any]:
+        """The currently-alive tracked managers (for monitor sampling)."""
+        with self._lock:
+            return list(self._bdd_live)
 
     def _bdd_snapshot(self) -> tuple[dict[str, float], dict[str, float]]:
         """Aggregated (counters, gauges) of every tracked manager, dead
@@ -295,6 +339,9 @@ class Registry:
             histograms = {k: h.as_dict() for k, h in self.histograms.items()}
             spans = {k: s.as_dict() for k, s in self.spans.items()}
             events = list(self.events)
+            events_dropped = self.events_dropped
+        if events_dropped:
+            counters["obs.events_dropped"] = events_dropped
         counters.update(bdd_counters)
         gauges.update(bdd_gauges)
         families: dict[str, dict[str, Any]] = {}
@@ -333,6 +380,7 @@ class Registry:
             self.histograms.clear()
             self.spans.clear()
             self.events.clear()
+            self.events_dropped = 0
             self._bdd_live = weakref.WeakSet()
             self._bdd_flushed.clear()
             self._bdd_total_managers = 0
@@ -365,11 +413,17 @@ class _SpanHandle:
         stack = _REGISTRY.span_stack()
         stack.append(self.name)
         self.path = "/".join(stack)
+        recorder = _tracer
+        if recorder is not None:
+            recorder.begin(self.name, {"path": self.path})
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         elapsed = time.perf_counter() - self.start
+        recorder = _tracer
+        if recorder is not None:
+            recorder.end(self.name)
         stack = _REGISTRY.span_stack()
         if stack and stack[-1] == self.name:
             stack.pop()

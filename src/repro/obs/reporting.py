@@ -148,6 +148,13 @@ def render_profile(report: dict[str, Any]) -> str:
         for family, data in interesting.items():
             for name, value in data["counters"].items():
                 lines.append(f"  {name:<48} {value:>12g}")
+    dropped = report.get("counters", {}).get("obs.events_dropped")
+    if dropped:
+        lines.append("")
+        lines.append(
+            f"WARNING: event buffer wrapped — {int(dropped)} oldest "
+            f"event(s) dropped (obs.events_dropped)"
+        )
     if not lines:
         lines.append("(no metrics collected — was instrumentation enabled?)")
     return "\n".join(lines)

@@ -142,3 +142,25 @@ class TestGuideSnippets:
         assert "BDD cache efficiency" in obs.render_profile(report)
         assert f
         obs.reset()
+
+    def test_tracing_snippet(self, tmp_path):
+        import json
+
+        from repro import obs
+        from repro.obs import trace as obs_trace
+
+        obs.reset()
+        with obs.tracing() as recorder:
+            with obs.span("phase.read"):
+                obs.event("netlist.loaded", gates=120)
+        chrome = recorder.write(tmp_path / "run.trace")
+        jsonl = recorder.write(tmp_path / "run.jsonl")
+        payload = json.loads(chrome.read_text())
+        assert all(
+            k in e for e in payload["traceEvents"]
+            for k in ("ph", "ts", "pid", "tid")
+        )
+        assert json.loads(jsonl.read_text().splitlines()[0])["ph"] == "M"
+        summary = obs_trace.summarize(recorder.records())
+        assert summary["spans"]["phase.read"]["count"] == 1
+        obs.reset()
