@@ -19,6 +19,7 @@ from repro.bdd.count import (
     sat_count,
     pick_one,
     iter_models,
+    iter_cubes,
     shortest_cube,
 )
 from repro.bdd.builders import (
@@ -55,6 +56,7 @@ __all__ = [
     "support",
     "support_multi",
     "sat_count",
+    "iter_cubes",
     "pick_one",
     "iter_models",
     "shortest_cube",

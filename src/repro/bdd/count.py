@@ -119,6 +119,39 @@ def iter_models(
     yield from recurse(root, 0)
 
 
+def iter_cubes(
+    manager: BDDManager, root: int, max_cubes: Optional[int] = None
+) -> Optional[list[dict[int, bool]]]:
+    """Disjoint satisfying cubes of ``root`` — one per BDD path to TRUE.
+
+    Each cube binds only the variables on its path; their disjunction
+    (over :meth:`BDDManager.cube`) reconstructs ``root`` exactly, which
+    makes this a manager-independent serialisation of a function (the
+    parallel cone scheduler ships don't-care sets to workers this way).
+    Path counts can blow up on dense functions, so ``max_cubes`` bounds
+    the enumeration: ``None`` is returned once the bound is exceeded and
+    callers fall back to an under-approximation.
+    """
+    if root == FALSE:
+        return []
+    cubes: list[dict[int, bool]] = []
+    # Explicit DFS stack of (node, path literals) — no Python recursion.
+    stack: list[tuple[int, tuple[tuple[int, bool], ...]]] = [(root, ())]
+    while stack:
+        node, path = stack.pop()
+        if node == FALSE:
+            continue
+        if node == TRUE:
+            cubes.append(dict(path))
+            if max_cubes is not None and len(cubes) > max_cubes:
+                return None
+            continue
+        var = manager.top_var(node)
+        stack.append((manager.lo(node), path + ((var, False),)))
+        stack.append((manager.hi(node), path + ((var, True),)))
+    return cubes
+
+
 def shortest_cube(manager: BDDManager, root: int) -> Optional[dict[int, bool]]:
     """A satisfying cube with the fewest literals (``None`` if UNSAT).
 

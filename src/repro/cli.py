@@ -9,9 +9,11 @@ Commands
     Run the Algorithm 1 synthesis pipeline and write the optimised
     netlist.  Every :class:`SynthesisOptions` knob is a flag; resource
     budgets (``--time-budget``/``--node-budget``) degrade gracefully,
-    ``--pipeline-config`` swaps in a declarative pass list, and
+    ``--pipeline-config`` swaps in a declarative pass list,
     ``--checkpoint``/``--resume`` persist and pick up pass-boundary
-    state.
+    state, and ``--workers N`` shards cone decomposition across worker
+    processes (bit-identical output for any worker count;
+    ``--worker-timeout`` bounds each cone).
 ``resynth FILE -o OUT``
     Iterate Algorithm 1 to a literal-count fixpoint (the Section 3.7
     re-synthesis loop), printing the literal trajectory.
@@ -281,6 +283,8 @@ def _synthesis_options(args: argparse.Namespace):
         enable_sharing=not args.no_sharing,
         time_budget=args.time_budget,
         node_budget=args.node_budget,
+        parallel_workers=args.workers,
+        worker_timeout=args.worker_timeout,
     )
 
 
@@ -333,9 +337,14 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     )
     if report.degraded:
         print(f"degraded: {report.degrade_reason}")
+        cones = report.artifacts.get("parallel.degraded_cones")
+        if cones:
+            print(f"degraded cones: {', '.join(cones)}")
     _save(report.network, args.output)
     print(f"wrote {args.output}")
     _diag_finish(diag)
+    from repro.engine.checkpoint import json_safe_artifacts
+
     _obs_finish(
         args,
         obs_active,
@@ -346,6 +355,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         decomposed=report.decomposed(),
         degraded=report.degraded,
         runtime=report.runtime,
+        artifacts=json_safe_artifacts(report.artifacts),
     )
     return 0
 
@@ -789,6 +799,14 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--node-budget", type=int, default=None,
                              help="global BDD-node budget "
                                   "(exhaustion degrades, never fails)")
+        command.add_argument("--workers", type=int, default=0,
+                             help="shard cone decomposition over this many "
+                                  "worker processes (0 = in-process; any "
+                                  "count is bit-identical to --workers 1)")
+        command.add_argument("--worker-timeout", type=float, default=None,
+                             help="per-cone wall-clock limit in parallel "
+                                  "mode; a cone whose worker exceeds it "
+                                  "degrades to a structural copy")
 
     p = sub.add_parser("optimize", help="run the Algorithm 1 pipeline")
     p.add_argument("file")

@@ -14,6 +14,10 @@ over a shared :class:`SynthesisContext`:
 * checkpoint/resume — pass-boundary serialization of pipeline position
   + network state, so long runs can be killed and resumed
   (:func:`save_checkpoint` / :func:`resume_pipeline`).
+* :class:`ParallelConeScheduler` / ``decompose_parallel`` — per-cone
+  process-pool sharding of the decompose loop with deterministic merge
+  order (bit-identical across worker counts) and per-worker failure
+  degradation.
 
 ``repro.synth.algorithm1`` and ``repro.synth.resynthesis`` are thin
 wrappers that assemble standard pipelines on top of this package.
@@ -48,8 +52,21 @@ from repro.engine.passes import (
 )
 from repro.engine.pipeline import Pipeline, standard_pipeline
 
+# Imported last: parallel pulls in repro.synth.conetask, whose package
+# init reaches back into repro.engine — by this point every name it
+# needs is bound.  The import also registers the "decompose_parallel"
+# pass as a side effect.
+from repro.engine.parallel import (  # noqa: E402
+    ConeShardAborted,
+    DecomposeParallelPass,
+    ParallelConeScheduler,
+)
+
 __all__ = [
+    "ConeShardAborted",
+    "DecomposeParallelPass",
     "DecomposePass",
+    "ParallelConeScheduler",
     "DontCarePass",
     "FinalizePass",
     "LatchCleanupPass",

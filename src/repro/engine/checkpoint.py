@@ -86,6 +86,19 @@ def network_from_dict(data: dict[str, Any]) -> Network:
     return network
 
 
+def json_safe_artifacts(artifacts: dict[str, Any]) -> dict[str, Any]:
+    """Artifacts that survive a JSON round trip (custom passes may stash
+    live objects there; those are simply not checkpointed)."""
+    safe: dict[str, Any] = {}
+    for key, value in artifacts.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        safe[key] = value
+    return safe
+
+
 # ---------------------------------------------------------------------------
 # Checkpoint write / read / resume
 # ---------------------------------------------------------------------------
@@ -116,6 +129,7 @@ def save_checkpoint(
         "degraded": context.degraded,
         "degrade_reason": context.degrade_reason,
         "pass_log": list(context.pass_log),
+        "artifacts": json_safe_artifacts(context.artifacts),
         "elapsed": context.runtime(),
         "governor": context.governor.snapshot(),
     }
@@ -170,6 +184,7 @@ def restore_context(
     context.degraded = bool(data.get("degraded", False))
     context.degrade_reason = data.get("degrade_reason")
     context.pass_log = list(data.get("pass_log", []))
+    context.artifacts = dict(data.get("artifacts", {}))
     context.prior_elapsed = prior
     if context.degraded and context.degrade_reason:
         governor.mark_exhausted(context.degrade_reason)

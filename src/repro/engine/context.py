@@ -59,6 +59,16 @@ class SynthesisOptions:
     #: Overall BDD-node budget across every manager the run allocates
     #: (governor-enforced; exhaustion degrades to structural copy).
     node_budget: Optional[int] = None
+    #: Shard per-signal bi-decomposition across worker processes.  ``0``
+    #: keeps the classic in-process ``decompose`` pass; ``N >= 1`` uses
+    #: the :class:`~repro.engine.parallel.ParallelConeScheduler` with
+    #: ``N`` workers (``1`` runs the same per-cone worker code inline,
+    #: so any worker count is bit-identical to ``workers=1``).
+    parallel_workers: int = 0
+    #: Per-cone wall-clock limit in parallel mode (seconds; ``None`` =
+    #: unlimited).  A cone whose worker exceeds it degrades to a
+    #: structural copy instead of stalling the run.
+    worker_timeout: Optional[float] = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly view (tuples become lists)."""
@@ -151,6 +161,12 @@ class SynthesisContext:
         #: Wall time accumulated before this context existed (set by
         #: checkpoint resume so reported runtimes stay cumulative).
         self.prior_elapsed = 0.0
+        #: Mid-pass checkpoint hook: when the pipeline runs with a
+        #: checkpoint path it points this at a zero-argument callable
+        #: that re-serialises the *current* pass position, so long
+        #: sharded passes (the parallel decompose) can persist progress
+        #: between cone merges.  ``None`` outside a checkpointed run.
+        self.mid_pass_checkpoint: Optional[Any] = None
         self._elapsed_at_start = self.governor.elapsed()
 
     # -- lazy substrate ---------------------------------------------------

@@ -42,6 +42,7 @@ class ResourceGovernor:
         self.node_budget = node_budget
         self._start = time.perf_counter()
         self._managers: list[Any] = []
+        self._external_nodes = 0
         self._reason: Optional[str] = None
 
     # -- bookkeeping ------------------------------------------------------
@@ -58,8 +59,16 @@ class ResourceGovernor:
         return time.perf_counter() - self._start
 
     def nodes_allocated(self) -> int:
-        """Total nodes ever created across the attached managers."""
-        return sum(m.num_nodes for m in self._managers)
+        """Total nodes ever created across the attached managers (plus
+        nodes reported by worker processes, see
+        :meth:`add_external_nodes`)."""
+        return self._external_nodes + sum(m.num_nodes for m in self._managers)
+
+    def add_external_nodes(self, count: int) -> None:
+        """Charge nodes allocated outside this process (a parallel worker
+        reports its private manager's final count when its result is
+        merged) against the node budget."""
+        self._external_nodes += int(count)
 
     def remaining_time(self) -> Optional[float]:
         """Seconds left in the wall-clock budget (``None`` = unlimited)."""

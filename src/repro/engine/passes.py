@@ -62,6 +62,13 @@ def make_pass(name: str, **params: Any) -> Pass:
     """Instantiate a registered pass by name."""
     factory = _REGISTRY.get(name)
     if factory is None:
+        # The parallel scheduler registers its pass on import; pull it
+        # in so configs naming "decompose_parallel" work regardless of
+        # which engine entry point ran first.
+        import repro.engine.parallel  # noqa: F401 - registration side effect
+
+        factory = _REGISTRY.get(name)
+    if factory is None:
         raise ValueError(
             f"unknown pass {name!r}; registered: {sorted(_REGISTRY)}"
         )
@@ -70,6 +77,8 @@ def make_pass(name: str, **params: Any) -> Pass:
 
 def available_passes() -> list[str]:
     """Names instantiable via :func:`make_pass` / pipeline configs."""
+    import repro.engine.parallel  # noqa: F401 - registration side effect
+
     return sorted(_REGISTRY)
 
 

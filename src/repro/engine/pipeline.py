@@ -69,11 +69,20 @@ class Pipeline:
 
     def to_config(self) -> dict[str, Any]:
         """Declarative form that :meth:`from_config` reconstructs (only
-        registered passes survive the round trip)."""
+        registered passes survive the round trip).
+
+        Params whose names start with ``_`` are *ephemeral*: they apply
+        to the live run only and are dropped here — so a test hook like
+        ``_abort_after_merges`` does not re-fire when a checkpointed run
+        is resumed from its serialized config."""
         entries: list[Any] = []
         for pass_ in self.passes:
-            if pass_.params:
-                entries.append({"pass": pass_.name, **pass_.params})
+            params = {
+                k: v for k, v in pass_.params.items()
+                if not k.startswith("_")
+            }
+            if params:
+                entries.append({"pass": pass_.name, **params})
             else:
                 entries.append(pass_.name)
         return {"passes": entries}
@@ -110,6 +119,16 @@ class Pipeline:
                 pipeline_index=index,
                 pipeline_passes=self.pass_names(),
             )
+            if checkpoint is not None:
+                from repro.engine.checkpoint import save_checkpoint
+
+                # Mid-pass hook: sharded passes call this between cone
+                # merges; the saved position re-runs *this* pass, whose
+                # per-cone work is skipped for already-merged signals.
+                def _mid_pass(index: int = index) -> None:
+                    save_checkpoint(checkpoint, self, context, index)
+
+                context.mid_pass_checkpoint = _mid_pass
             began = time.perf_counter()
             try:
                 with _obs.span(f"pipeline.{pass_.name}"):
@@ -124,6 +143,7 @@ class Pipeline:
                     )
                 raise
             elapsed = time.perf_counter() - began
+            context.mid_pass_checkpoint = None
             context.pass_log.append({"pass": pass_.name, "elapsed": elapsed})
             # Pass-boundary budget check: latch exhaustion now so every
             # remaining pass sees a consistent verdict.
@@ -155,7 +175,8 @@ class Pipeline:
 
 def standard_pipeline(options: Optional[SynthesisOptions] = None) -> Pipeline:
     """The Algorithm 1 pipeline ``algorithm1()`` assembles: latch
-    cleanup, don't-care store, decompose loop, finalize, and the
+    cleanup, don't-care store, decompose loop (process-pool sharded when
+    ``options.parallel_workers`` is set), finalize, and the
     sweep/strash/sweep structural cleanup."""
     options = options or SynthesisOptions()
     pipeline = Pipeline()
@@ -163,7 +184,10 @@ def standard_pipeline(options: Optional[SynthesisOptions] = None) -> Pipeline:
         pipeline.add("cleanup")
     if options.use_unreachable_states:
         pipeline.add("dontcares")
-    pipeline.add("decompose")
+    if options.parallel_workers:
+        pipeline.add("decompose_parallel")
+    else:
+        pipeline.add("decompose")
     pipeline.add("finalize")
     pipeline.add("sweep")
     pipeline.add("strash")

@@ -60,6 +60,36 @@ def crash_context() -> dict[str, Any]:
         return dict(_crash_context)
 
 
+#: Cap on remembered worker failures — a mass pool failure should not
+#: balloon the crash bundle.
+MAX_WORKER_FAILURES = 20
+
+
+def record_worker_failure(
+    sink: str,
+    kind: str,
+    error: Optional[dict[str, Any]] = None,
+    **fields: Any,
+) -> None:
+    """Append a parallel-worker failure to the crash context.
+
+    Worker exceptions are *handled* in the parent (the cone degrades to a
+    structural copy), so they never reach the top-level crash handler on
+    their own — but if the run later dies for any reason, the bundle
+    should still show which workers failed and with what remote
+    traceback.  ``kind`` is one of ``exception`` / ``timeout`` /
+    ``pool-broken``; ``error`` carries the serialized exception from
+    :func:`repro.synth.conetask.format_worker_error`."""
+    entry: dict[str, Any] = {"sink": sink, "kind": kind, "at": time.time()}
+    if error:
+        entry["error"] = dict(error)
+    entry.update(fields)
+    with _context_lock:
+        failures = _crash_context.setdefault("worker_failures", [])
+        failures.append(entry)
+        del failures[:-MAX_WORKER_FAILURES]
+
+
 def _manager_rows() -> list[dict[str, Any]]:
     rows = []
     for manager in _global_registry().live_bdd_managers():

@@ -115,6 +115,43 @@ class TraceRecorder:
             record["args"] = args
         self._append(record)
 
+    def emit_external_span(
+        self,
+        name: str,
+        wall_start: float,
+        duration_s: float,
+        tid: int,
+        args: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Record a span measured in *another* process (a parallel
+        worker) on track ``tid``.
+
+        ``wall_start`` is a ``time.time()`` epoch timestamp from the
+        worker; it is aligned to this recorder's timeline via the wall
+        clock captured at construction, so worker spans interleave
+        correctly with the parent's monotonic spans (modulo wall-clock
+        skew, which is negligible on one host)."""
+        ts = max(0.0, (wall_start - self._epoch_wall) * 1e6)
+        begin: dict[str, Any] = {
+            "ph": "B",
+            "ts": round(ts, 3),
+            "pid": self.pid,
+            "tid": tid,
+            "name": name,
+        }
+        if args:
+            begin["args"] = args
+        self._append(begin)
+        self._append(
+            {
+                "ph": "E",
+                "ts": round(ts + max(0.0, duration_s) * 1e6, 3),
+                "pid": self.pid,
+                "tid": tid,
+                "name": name,
+            }
+        )
+
     def counter(self, name: str, values: dict[str, float]) -> None:
         """Record a sample on counter track ``name`` (one series per
         key) — Perfetto renders these as stacked area charts."""

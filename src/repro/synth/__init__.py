@@ -7,6 +7,13 @@ from repro.synth.algorithm1 import (
     SignalRecord,
     algorithm1,
 )
+from repro.synth.conetask import (
+    ConeTask,
+    extract_cone_slice,
+    extract_cone_task,
+    merge_cone_result,
+    run_cone_task,
+)
 from repro.synth.sharing import decompose_with_sharing, estimated_arrival
 from repro.synth.resynthesis import ResynthesisReport, resynthesis_loop
 from repro.synth.evaluate import (
@@ -20,6 +27,11 @@ __all__ = [
     "SynthesisReport",
     "SignalRecord",
     "algorithm1",
+    "ConeTask",
+    "extract_cone_slice",
+    "extract_cone_task",
+    "merge_cone_result",
+    "run_cone_task",
     "decompose_with_sharing",
     "estimated_arrival",
     "ResynthesisReport",

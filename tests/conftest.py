@@ -2,12 +2,35 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
+from hypothesis import HealthCheck, settings
+
 from repro.bdd import BDDManager
 from repro.logic.truthtable import TruthTable
+
+# Hypothesis profiles: both are derandomised (a fixed example stream per
+# test, so failures reproduce without seed juggling); "ci" additionally
+# caps example counts to bound suite runtime.  Select with
+# HYPOTHESIS_PROFILE=ci (the CI workflow does).
+settings.register_profile(
+    "default",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,127 @@
+"""Reusable random-input generators for the test suite.
+
+Two flavours live here:
+
+* plain seeded helpers (:func:`small_circuit`, :func:`wide_circuit`) —
+  the deterministic generators the fuzz-integration tests have always
+  parametrised over seeds, promoted out of ``test_fuzz_integration.py``
+  so every suite builds the same circuits, and
+* `hypothesis <https://hypothesis.readthedocs.io>`_ strategies
+  (:func:`circuits`, :func:`truth_tables`, :func:`cube_sets`) for the
+  property-based suites.  Strategies draw only *descriptions* (seeds,
+  sizes, bit patterns); the expensive objects (networks, BDDs) are built
+  deterministically from them, which keeps shrinking meaningful.
+
+Profiles (registered in ``conftest.py``) keep hypothesis derandomised
+with capped ``max_examples`` so CI stays reproducible and bounded.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.benchgen import generate_sequential_circuit
+from repro.logic.truthtable import TruthTable, full_mask
+
+
+# ---------------------------------------------------------------------------
+# Seeded circuit helpers (shared by fuzz + differential suites)
+# ---------------------------------------------------------------------------
+
+
+def small_circuit(seed: int, latches: int = 6, inputs: int = 3, outputs: int = 3):
+    """The classic fuzz circuit: a few FSM blocks with unreachable
+    states, small enough for explicit-state oracles."""
+    return generate_sequential_circuit(
+        f"fuzz{seed}",
+        num_inputs=inputs,
+        num_outputs=outputs,
+        num_latches=latches,
+        counter_fraction=0.6,
+        seed=seed,
+    )
+
+
+def wide_circuit(seed: int, outputs: int = 16, latches: int = 20):
+    """A many-cone circuit (>= ``outputs`` + ``latches`` sinks) sized
+    for parallel-scheduler and benchmark runs, not explicit oracles."""
+    return generate_sequential_circuit(
+        f"wide{seed}",
+        num_inputs=6,
+        num_outputs=outputs,
+        num_latches=latches,
+        counter_fraction=0.5,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def circuits(
+    draw,
+    min_latches: int = 4,
+    max_latches: int = 8,
+    min_outputs: int = 2,
+    max_outputs: int = 4,
+):
+    """A random sequential :class:`~repro.network.netlist.Network`.
+
+    Only the description is drawn (seed + sizes); the circuit itself is
+    a deterministic function of it, so failures shrink to a small,
+    reproducible generator call.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    latches = draw(st.integers(min_value=min_latches, max_value=max_latches))
+    outputs = draw(st.integers(min_value=min_outputs, max_value=max_outputs))
+    counter_fraction = draw(st.sampled_from([0.0, 0.4, 0.6, 1.0]))
+    return generate_sequential_circuit(
+        f"hyp{seed}",
+        num_inputs=3,
+        num_outputs=outputs,
+        num_latches=latches,
+        counter_fraction=counter_fraction,
+        seed=seed,
+    )
+
+
+@st.composite
+def truth_tables(draw, min_vars: int = 1, max_vars: int = 5):
+    """A completely specified boolean function as a
+    :class:`~repro.logic.truthtable.TruthTable` (the BDD oracle)."""
+    num_vars = draw(st.integers(min_value=min_vars, max_value=max_vars))
+    bits = draw(st.integers(min_value=0, max_value=full_mask(num_vars)))
+    return TruthTable(bits, num_vars)
+
+
+@st.composite
+def truth_table_pairs(draw, min_vars: int = 1, max_vars: int = 5):
+    """Two functions over the *same* variable count (for binary-operator
+    properties like De Morgan)."""
+    num_vars = draw(st.integers(min_value=min_vars, max_value=max_vars))
+    mask = full_mask(num_vars)
+    left = TruthTable(draw(st.integers(min_value=0, max_value=mask)), num_vars)
+    right = TruthTable(draw(st.integers(min_value=0, max_value=mask)), num_vars)
+    return left, right
+
+
+@st.composite
+def cube_sets(draw, num_vars: int = 4, max_cubes: int = 4):
+    """A list of cubes (``{var: polarity}`` dicts) over ``num_vars``
+    variables — don't-care-shipping shaped data."""
+    cubes = draw(
+        st.lists(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=num_vars - 1),
+                st.booleans(),
+                min_size=1,
+                max_size=num_vars,
+            ),
+            min_size=0,
+            max_size=max_cubes,
+        )
+    )
+    return cubes

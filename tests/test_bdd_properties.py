@@ -1,0 +1,237 @@
+"""Hypothesis property tests for the BDD kernel.
+
+Every property pits a BDD computation against either an algebraic
+identity (De Morgan, quantifier duality) or the exhaustive
+:class:`~repro.logic.truthtable.TruthTable` oracle.  Functions are drawn
+as truth tables (see ``tests/strategies.py``) and lifted into a fresh
+manager per example, so canonicity bugs cannot hide in shared state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bdd import (
+    BDDManager,
+    FALSE,
+    TRUE,
+    abstract_interval,
+    compose,
+    exists,
+    forall,
+    iter_cubes,
+    iter_models,
+    sat_count,
+)
+from repro.logic.truthtable import TruthTable
+
+from strategies import cube_sets, truth_table_pairs, truth_tables
+
+
+def _lift(table: TruthTable) -> tuple[BDDManager, int]:
+    manager = BDDManager(table.num_vars)
+    return manager, table.to_bdd(manager, list(range(table.num_vars)))
+
+
+class TestBooleanIdentities:
+    @given(truth_table_pairs())
+    def test_de_morgan(self, pair):
+        """¬(f & g) == ¬f | ¬g and ¬(f | g) == ¬f & ¬g, node-for-node
+        (canonicity makes equality structural)."""
+        left, right = pair
+        manager = BDDManager(left.num_vars)
+        variables = list(range(left.num_vars))
+        f = left.to_bdd(manager, variables)
+        g = right.to_bdd(manager, variables)
+        assert manager.negate(manager.apply_and(f, g)) == manager.apply_or(
+            manager.negate(f), manager.negate(g)
+        )
+        assert manager.negate(manager.apply_or(f, g)) == manager.apply_and(
+            manager.negate(f), manager.negate(g)
+        )
+
+    @given(truth_table_pairs())
+    def test_xor_via_and_or(self, pair):
+        """f ^ g == (f & ¬g) | (¬f & g)."""
+        left, right = pair
+        manager = BDDManager(left.num_vars)
+        variables = list(range(left.num_vars))
+        f = left.to_bdd(manager, variables)
+        g = right.to_bdd(manager, variables)
+        assert manager.apply_xor(f, g) == manager.apply_or(
+            manager.apply_and(f, manager.negate(g)),
+            manager.apply_and(manager.negate(f), g),
+        )
+
+
+class TestQuantifierProperties:
+    @given(truth_tables(), st.data())
+    def test_quantifier_duality(self, table, data):
+        """¬∃x.f == ∀x.¬f for any variable subset x."""
+        manager, f = _lift(table)
+        subset = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=table.num_vars - 1)
+            ),
+            label="quantified_vars",
+        )
+        assert manager.negate(exists(manager, f, subset)) == forall(
+            manager, manager.negate(f), subset
+        )
+
+    @given(truth_tables(), st.data())
+    def test_forall_implies_f_implies_exists(self, table, data):
+        """∀x.f ≤ f ≤ ∃x.f pointwise (the interval-containment fact the
+        paper's abstraction rests on)."""
+        manager, f = _lift(table)
+        subset = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=table.num_vars - 1)
+            ),
+            label="quantified_vars",
+        )
+        lower = forall(manager, f, subset)
+        upper = exists(manager, f, subset)
+        # a ≤ b  <=>  a & ¬b == FALSE
+        assert manager.apply_and(lower, manager.negate(f)) == FALSE
+        assert manager.apply_and(f, manager.negate(upper)) == FALSE
+
+    @given(truth_table_pairs(), st.data())
+    def test_abstract_interval_containment(self, pair, data):
+        """``abstract_interval`` of [l, u] (with l ≤ u) stays inside the
+        original interval's bounds after dropping the variables: the
+        abstracted lower bound contains l's projection and the upper
+        bound is contained in u's."""
+        left, right = pair
+        manager = BDDManager(left.num_vars)
+        variables = list(range(left.num_vars))
+        a = left.to_bdd(manager, variables)
+        b = right.to_bdd(manager, variables)
+        lower, upper = manager.apply_and(a, b), manager.apply_or(a, b)
+        subset = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=left.num_vars - 1)
+            ),
+            label="abstracted_vars",
+        )
+        abs_lower, abs_upper = abstract_interval(
+            manager, lower, upper, subset
+        )
+        # [∃x l, ∀x u]: the new interval (when non-empty) only narrows.
+        assert exists(manager, lower, subset) == abs_lower
+        assert forall(manager, upper, subset) == abs_upper
+        # Any member of the abstracted interval is independent of the
+        # dropped variables and sits inside [l, u] — check the bounds.
+        if manager.apply_and(abs_lower, manager.negate(abs_upper)) == FALSE:
+            assert (
+                manager.apply_and(lower, manager.negate(abs_lower)) == FALSE
+            )
+            assert (
+                manager.apply_and(abs_upper, manager.negate(upper)) == FALSE
+            )
+
+
+class TestComposeRestrict:
+    @given(truth_table_pairs(), st.data())
+    def test_compose_matches_oracle(self, pair, data):
+        """compose(f, v, g) tabulates to f with g substituted for v."""
+        left, right = pair
+        manager = BDDManager(left.num_vars)
+        variables = list(range(left.num_vars))
+        f = left.to_bdd(manager, variables)
+        g = right.to_bdd(manager, variables)
+        var = data.draw(
+            st.integers(min_value=0, max_value=left.num_vars - 1),
+            label="substituted_var",
+        )
+        composed = compose(manager, f, var, g)
+        for bits in range(1 << left.num_vars):
+            assignment = [
+                bool((bits >> i) & 1) for i in range(left.num_vars)
+            ]
+            substituted = list(assignment)
+            substituted[var] = right.evaluate(assignment)
+            assert manager.evaluate(composed, assignment) == left.evaluate(
+                substituted
+            )
+
+    @given(truth_tables(), st.data())
+    def test_restrict_is_cofactor(self, table, data):
+        """restrict under a partial assignment equals iterated cofactors
+        of the truth-table oracle."""
+        manager, f = _lift(table)
+        assignment = data.draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=table.num_vars - 1),
+                st.booleans(),
+            ),
+            label="assignment",
+        )
+        restricted = manager.restrict(f, assignment)
+        oracle = table
+        for var, value in assignment.items():
+            oracle = oracle.cofactor(var, value)
+        assert restricted == oracle.to_bdd(
+            manager, list(range(table.num_vars))
+        )
+
+
+class TestCountingProperties:
+    @given(truth_tables())
+    def test_sat_count_matches_model_enumeration(self, table):
+        manager, f = _lift(table)
+        models = list(
+            iter_models(manager, f, list(range(table.num_vars)))
+        )
+        assert sat_count(manager, f, table.num_vars) == len(models)
+        assert len(models) == table.count_ones()
+
+    @given(truth_tables())
+    def test_iter_cubes_reconstructs_function(self, table):
+        """The disjunction of the disjoint path cubes is the function —
+        the invariant the parallel don't-care shipping relies on."""
+        manager, f = _lift(table)
+        cubes = iter_cubes(manager, f)
+        assert cubes is not None
+        rebuilt = FALSE
+        for cube in cubes:
+            rebuilt = manager.apply_or(rebuilt, manager.cube(cube))
+        assert rebuilt == f
+        # Disjointness: every pair of cubes conflicts on some variable.
+        for i, a in enumerate(cubes):
+            for b in cubes[i + 1 :]:
+                assert any(
+                    var in b and b[var] != pol for var, pol in a.items()
+                )
+
+    @given(truth_tables(max_vars=4))
+    def test_iter_cubes_cap_returns_none(self, table):
+        manager, f = _lift(table)
+        uncapped = iter_cubes(manager, f)
+        assert uncapped is not None
+        if len(uncapped) > 1:
+            assert iter_cubes(manager, f, max_cubes=len(uncapped) - 1) is None
+        assert iter_cubes(manager, f, max_cubes=len(uncapped)) == uncapped
+
+    @given(cube_sets(num_vars=4))
+    def test_cube_set_round_trip(self, cubes):
+        """Building a function from cubes and re-enumerating its paths
+        preserves the function (though not the cube list)."""
+        manager = BDDManager(4)
+        f = FALSE
+        for cube in cubes:
+            f = manager.apply_or(f, manager.cube(cube))
+        paths = iter_cubes(manager, f)
+        assert paths is not None
+        rebuilt = FALSE
+        for cube in paths:
+            rebuilt = manager.apply_or(rebuilt, manager.cube(cube))
+        assert rebuilt == f
+
+    @given(truth_tables(), truth_tables())
+    def test_true_false_terminals(self, a, b):
+        """Constants behave: f & ¬f == FALSE, f | ¬f == TRUE."""
+        manager, f = _lift(a)
+        assert manager.apply_and(f, manager.negate(f)) == FALSE
+        assert manager.apply_or(f, manager.negate(f)) == TRUE

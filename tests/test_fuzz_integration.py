@@ -12,7 +12,6 @@ import random
 import pytest
 
 from repro.bdd import BDDManager
-from repro.benchgen import generate_sequential_circuit
 from repro.network import outputs_equal
 from repro.network.check import (
     combinational_equivalent_bdd,
@@ -22,16 +21,7 @@ from repro.network.check import (
 from repro.reach import DontCareManager, explicit_reachable_states
 from repro.synth import SynthesisOptions, algorithm1
 
-
-def small_circuit(seed: int, latches: int = 6):
-    return generate_sequential_circuit(
-        f"fuzz{seed}",
-        num_inputs=3,
-        num_outputs=3,
-        num_latches=latches,
-        counter_fraction=0.6,
-        seed=seed,
-    )
+from strategies import small_circuit
 
 
 class TestDontCareSoundnessFuzz:
