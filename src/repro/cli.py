@@ -40,6 +40,11 @@ Commands
     Summarize a recorded trace (top spans by self time, counter tracks,
     unclosed spans) and optionally convert JSONL to Chrome trace-event
     JSON with ``--convert OUT``.
+``history {list,show,compare,regressions,export} --ledger PATH``
+    Inspect a run ledger (see below): list recorded runs, show one run's
+    pass/cone rows, compare two runs for synthesis-quality or wall-time
+    regressions (exit 2 on regression — a CI gate), scan every
+    (command, input) trajectory, or export everything as JSONL.
 
 The ``optimize``, ``reach``, ``decompose`` and ``map`` commands accept
 ``--profile`` (print the table after the run) and ``--stats-json PATH``
@@ -54,6 +59,14 @@ the runtime monitor; ``0`` disables it).  On an unhandled exception any
 instrumented command writes a crash-diagnostic bundle (exception +
 traceback, obs report, trace tail, BDD manager stats, latest checkpoint
 path) before re-raising; ``--crash-dump PATH`` sets its location.
+
+The same long-run commands accept ``--ledger PATH``: append this run —
+wall/literal/degradation results, per-pass timings, per-cone rows keyed
+by the canonical task signature — to a persistent SQLite run ledger
+(WAL mode, safe for concurrent appenders).  On later ledger-enabled
+runs the parallel scheduler loads a cone cost model from that history
+and dispatches shards longest-first (LPT); the merge stays plan-ordered,
+so the output is bit-identical with or without history.
 """
 
 from __future__ import annotations
@@ -223,6 +236,77 @@ def _diag_finish(diag: "_Diagnostics | None") -> None:
     _ACTIVE_DIAG = None
 
 
+def _ledger_begin(
+    args: argparse.Namespace, command: str, network, options, pipeline=None
+):
+    """Open the run ledger and register this run when ``--ledger`` was
+    given; returns an ``(ledger, run_id)`` handle or ``None``.
+
+    This is the *only* place the ledger module is imported — engine
+    layers reach the active run through ``sys.modules``, so runs
+    without the flag never load it (and never touch the disk for it).
+    """
+    path = getattr(args, "ledger", None)
+    if not path:
+        return None
+    from repro import obs
+    from repro.obs import crashdump
+    from repro.obs import ledger as obs_ledger
+
+    ledger = obs_ledger.RunLedger(path)
+    run_id = ledger.begin_run(
+        command=command,
+        argv=list(sys.argv[1:]),
+        input=getattr(args, "file", None) or getattr(args, "target", None),
+        netlist_signature=obs_ledger.netlist_signature(network),
+        config_hash=obs_ledger.config_hash(
+            options,
+            pipeline.pass_names() if pipeline is not None else None,
+        ),
+        workers=getattr(options, "parallel_workers", 0) or 0,
+        instrumented=obs.enabled(),
+    )
+    obs_ledger.activate(ledger, run_id)
+    crashdump.set_crash_context(
+        ledger_path=str(ledger.path), ledger_run_id=run_id
+    )
+    if _ACTIVE_DIAG is not None and _ACTIVE_DIAG.monitor is not None:
+        _ACTIVE_DIAG.monitor.extra["ledger"] = {
+            "path": str(ledger.path), "run_id": run_id
+        }
+    return ledger, run_id
+
+
+def _ledger_finish(handle, status: str = "finished", **fields) -> None:
+    """Finalise and close the run opened by :func:`_ledger_begin`."""
+    if handle is None:
+        return
+    from repro.obs import ledger as obs_ledger
+
+    ledger, run_id = handle
+    try:
+        ledger.finish_run(run_id, status=status, **fields)
+    finally:
+        obs_ledger.deactivate()
+        ledger.close()
+    print(f"ledger: run {run_id} -> {ledger.path}")
+
+
+def _peak_nodes() -> "int | None":
+    """Peak BDD node count of this run when instrumentation is on
+    (``None`` otherwise — an uninstrumented run tracks no managers)."""
+    from repro import obs
+
+    if not obs.enabled():
+        return None
+    try:
+        from repro.obs.registry import registry
+
+        return registry().bdd_peak_nodes()
+    except Exception:
+        return None
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     network = _load(args.file)
     stats = network.stats()
@@ -307,6 +391,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             return 1
         from repro.engine import resume_pipeline
 
+        ledger = _ledger_begin(args, "optimize", network, options)
         report = resume_pipeline(args.checkpoint).to_report()
     else:
         pipeline = None
@@ -318,6 +403,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                 config.get("options", {}), base=options
             )
             pipeline = Pipeline.from_config(config)
+        ledger = _ledger_begin(args, "optimize", network, options, pipeline)
         governor = diag.make_governor(options) if diag else None
         report = algorithm1(
             network,
@@ -328,6 +414,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         )
     if not outputs_equal(network, report.network, cycles=32):
         print("ERROR: random simulation found a mismatch", file=sys.stderr)
+        _ledger_finish(ledger, status="failed")
         return 1
     before, after = network.stats(), report.network.stats()
     print(
@@ -342,6 +429,19 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             print(f"degraded cones: {', '.join(cones)}")
     _save(report.network, args.output)
     print(f"wrote {args.output}")
+    _ledger_finish(
+        ledger,
+        wall=report.runtime,
+        peak_nodes=_peak_nodes(),
+        literals_before=before["literals"],
+        literals_after=after["literals"],
+        latches=len(report.network.latches),
+        decomposed=report.decomposed(),
+        degraded=report.degraded,
+        degraded_cones=sum(
+            1 for r in report.records if getattr(r, "action", None) == "copied"
+        ),
+    )
     _diag_finish(diag)
     from repro.engine.checkpoint import json_safe_artifacts
 
@@ -361,6 +461,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_resynth(args: argparse.Namespace) -> int:
+    import time
+
     from repro.network import outputs_equal
     from repro.synth import resynthesis_loop
 
@@ -368,12 +470,16 @@ def cmd_resynth(args: argparse.Namespace) -> int:
     diag = _diag_begin(args)
     network = _load(args.file)
     options = _synthesis_options(args)
+    ledger = _ledger_begin(args, "resynth", network, options)
     governor = diag.make_governor(options) if diag else None
+    began = time.perf_counter()
     report = resynthesis_loop(
         network, options, max_rounds=args.rounds, governor=governor
     )
+    wall = time.perf_counter() - began
     if not outputs_equal(network, report.network, cycles=32):
         print("ERROR: random simulation found a mismatch", file=sys.stderr)
+        _ledger_finish(ledger, status="failed")
         return 1
     trajectory = " -> ".join(str(n) for n in report.literal_trajectory)
     print(f"literal trajectory: {trajectory}")
@@ -386,6 +492,18 @@ def cmd_resynth(args: argparse.Namespace) -> int:
         print("degraded: resource budget exhausted mid-loop")
     _save(report.network, args.output)
     print(f"wrote {args.output}")
+    _ledger_finish(
+        ledger,
+        wall=wall,
+        peak_nodes=_peak_nodes(),
+        literals_before=report.literal_trajectory[0]
+        if report.literal_trajectory else None,
+        literals_after=report.network.literal_count(),
+        latches=len(report.network.latches),
+        degraded=report.degraded,
+        extra={"rounds": len(report.rounds),
+               "trajectory": report.literal_trajectory},
+    )
     _diag_finish(diag)
     _obs_finish(
         args,
@@ -626,6 +744,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
         name = args.target
     run_info: dict = {"command": "profile", "workload": args.workload,
                       "target": name}
+    from repro.synth import SynthesisOptions as _Options
+
+    ledger = _ledger_begin(
+        args, "profile", network,
+        _Options(time_budget=args.time_budget),
+    )
     if args.workload == "optimize":
         from repro.synth import SynthesisOptions, algorithm1
 
@@ -650,6 +774,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     else:
         raise ValueError(f"unknown workload {args.workload!r}")
     run_info["wall_time"] = time.perf_counter() - start
+    _ledger_finish(
+        ledger,
+        wall=run_info["wall_time"],
+        peak_nodes=_peak_nodes(),
+        literals_before=run_info.get("literals_before"),
+        literals_after=run_info.get("literals_after"),
+        area=run_info.get("area"),
+        delay=run_info.get("delay"),
+        extra={"workload": args.workload},
+    )
     _diag_finish(diag)
     obs.disable()
     snapshot = obs.report()
@@ -670,7 +804,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.obs import trace as obs_trace
 
-    records, metadata = obs_trace.load_trace(args.file)
+    try:
+        records, metadata = obs_trace.load_trace(args.file)
+    except FileNotFoundError:
+        print(f"error: no trace file at {args.file}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        print(f"error: {args.file} is not a readable trace: {exc}",
+              file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
     if not records:
         print(f"no trace records in {args.file}", file=sys.stderr)
         return 1
@@ -683,6 +828,144 @@ def cmd_trace(args: argparse.Namespace) -> int:
     summary = obs_trace.summarize(records)
     print(obs_trace.render_summary(summary, metadata, top=args.top))
     return 0
+
+
+def _history_list(ledger, args) -> int:
+    runs = ledger.runs(
+        command=args.run_command, input=args.input, limit=args.limit
+    )
+    if not runs:
+        print("no runs recorded")
+        return 0
+    print(f"{'id':<12} {'command':<9} {'status':<9} {'lits':>6} "
+          f"{'wall':>8} {'deg':>4} {'instr':>5}  input")
+    for run in runs:
+        lits = run.get("literals_after")
+        wall = run.get("wall")
+        print(
+            f"{run['id']:<12} {run.get('command') or '-':<9} "
+            f"{run.get('status') or '-':<9} "
+            f"{lits if lits is not None else '-':>6} "
+            f"{f'{wall:.2f}s' if wall is not None else '-':>8} "
+            f"{run.get('degraded_cones') if run.get('degraded_cones') is not None else '-':>4} "
+            f"{'yes' if run.get('instrumented') else 'no':>5}  "
+            f"{run.get('input') or '-'}"
+        )
+    return 0
+
+
+def _history_show(ledger, args) -> int:
+    run = ledger.run(args.run_id)
+    print(f"run {run['id']}:")
+    for key in (
+        "command", "status", "input", "netlist_signature", "config_hash",
+        "workers", "instrumented", "wall", "peak_nodes",
+        "literals_before", "literals_after", "area", "delay", "latches",
+        "decomposed", "degraded", "degraded_cones",
+    ):
+        value = run.get(key)
+        if value is not None:
+            print(f"  {key:>18}: {value}")
+    passes = ledger.passes(run["id"])
+    if passes:
+        print("  passes:")
+        for row in passes:
+            elapsed = row.get("elapsed")
+            mark = " (exhausted)" if row.get("exhausted") else ""
+            print(f"    {row['idx']:>2} {row['pass']:<20} "
+                  f"{f'{elapsed:.3f}s' if elapsed is not None else '-'}{mark}")
+    cones = ledger.cones(run["id"])
+    if cones:
+        slowest = sorted(
+            cones, key=lambda c: c.get("elapsed") or 0.0, reverse=True
+        )[: args.top]
+        print(f"  cones ({len(cones)} total, slowest {len(slowest)}):")
+        for cone in slowest:
+            elapsed = cone.get("elapsed")
+            print(
+                f"    {cone['sink']:<16} {cone.get('action') or '-':<10} "
+                f"{f'{elapsed:.3f}s' if elapsed is not None else '-':>8} "
+                f"inputs={cone.get('cone_inputs')} "
+                f"key={cone.get('task_key') or '-'}"
+            )
+    return 0
+
+
+def _history_compare(ledger, args) -> int:
+    from repro.obs.ledger import compare_runs
+
+    if args.base and args.current:
+        base, current = ledger.run(args.base), ledger.run(args.current)
+    else:
+        runs = ledger.runs(
+            command=args.run_command, input=args.input, status="finished"
+        )
+        if len(runs) < 2:
+            print("error: need two finished runs to compare "
+                  f"(found {len(runs)})", file=sys.stderr)
+            return 1
+        base, current = runs[-2], runs[-1]
+    result = compare_runs(base, current, wall_threshold=args.wall_threshold)
+    print(f"comparing {base['id']} (base) -> {current['id']} (current)")
+    for note in result["notes"]:
+        print(f"  note: {note}")
+    for row in result["rows"]:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        ratio = f" ({row['ratio']}x)" if "ratio" in row else ""
+        print(f"  {row['metric']:>16}: {row['base']} -> "
+              f"{row['current']}{ratio}  {verdict}")
+    if result["regressions"]:
+        print(f"{len(result['regressions'])} regression(s) detected",
+              file=sys.stderr)
+        return 2
+    print("no regressions")
+    return 0
+
+
+def _history_regressions(ledger, args) -> int:
+    from repro.obs.ledger import trajectory_regressions
+
+    found = trajectory_regressions(ledger, wall_threshold=args.wall_threshold)
+    if not found:
+        print("no regressions across any (command, input) trajectory")
+        return 0
+    for entry in found:
+        print(f"{entry['command']} {entry['input']}: "
+              f"{entry['base']} -> {entry['current']}")
+        for line in entry["regressions"]:
+            print(f"  {line}")
+    print(f"{len(found)} trajectory regression(s) detected", file=sys.stderr)
+    return 2
+
+
+def _history_export(ledger, args) -> int:
+    count = ledger.export_jsonl(args.output)
+    print(f"wrote {args.output} ({count} runs)")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import LedgerError, RunLedger
+
+    try:
+        ledger = RunLedger(args.ledger, readonly=True)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        handler = {
+            "list": _history_list,
+            "show": _history_show,
+            "compare": _history_compare,
+            "regressions": _history_regressions,
+            "export": _history_export,
+        }[args.history_command]
+        return handler(ledger, args)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        ledger.close()
 
 
 def _write_crash_diagnostics(args: argparse.Namespace, exc: BaseException) -> None:
@@ -715,6 +998,18 @@ def _write_crash_diagnostics(args: argparse.Namespace, exc: BaseException) -> No
     written = crashdump.write_crash_bundle(dump, exc)
     if written is not None:
         print(f"crash bundle written to {written}", file=sys.stderr)
+    # Mark the active ledger run crashed (after the bundle, which reads
+    # the active-run identity).  sys.modules lookup — see repro.obs.ledger.
+    ledger_mod = sys.modules.get("repro.obs.ledger")
+    if ledger_mod is not None:
+        try:
+            ledger_mod.finish_active(
+                status="crashed",
+                extra={"error": f"{type(exc).__name__}: {exc}"},
+            )
+            ledger_mod.deactivate()
+        except Exception:
+            pass
     global _ACTIVE_DIAG
     if _ACTIVE_DIAG is not None:
         _ACTIVE_DIAG.abort()
@@ -759,6 +1054,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="where to write the crash-diagnostic bundle on an "
                  "unhandled exception (default: repro_crash_<cmd>.json "
                  "for instrumented runs)",
+        )
+
+    def add_ledger_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--ledger", metavar="PATH", default=None,
+            help="append this run (per-pass and per-cone rows included) "
+                 "to the SQLite run ledger at PATH; inspect with "
+                 "'repro history'",
         )
 
     p = sub.add_parser("stats", help="netlist statistics")
@@ -822,6 +1125,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "starting over")
     add_obs_flags(p)
     add_trace_flags(p)
+    add_ledger_flag(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser(
@@ -835,6 +1139,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_synthesis_flags(p)
     add_obs_flags(p)
     add_trace_flags(p)
+    add_ledger_flag(p)
     p.set_defaults(func=cmd_resynth)
 
     p = sub.add_parser("map", help="technology mapping")
@@ -872,6 +1177,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-json", metavar="PATH", default=None,
                    help="also write the JSON report to PATH")
     add_trace_flags(p)
+    add_ledger_flag(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
@@ -885,6 +1191,67 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the records as Chrome trace-event "
                         "JSON to OUT (JSONL -> Chrome conversion)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "history",
+        help="inspect a run ledger: list/show runs, compare for "
+             "regressions, export JSONL",
+    )
+    hist = p.add_subparsers(dest="history_command", required=True)
+
+    def add_ledger_path(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--ledger", required=True, metavar="PATH",
+                             help="run-ledger SQLite file")
+
+    h = hist.add_parser("list", help="list recorded runs")
+    add_ledger_path(h)
+    h.add_argument("--command", dest="run_command", default=None,
+                   help="only runs of this CLI command")
+    h.add_argument("--input", default=None,
+                   help="only runs over this input path")
+    h.add_argument("--limit", type=int, default=20,
+                   help="show at most the newest N runs")
+    h.set_defaults(func=cmd_history)
+
+    h = hist.add_parser("show", help="one run in full (passes + cones)")
+    add_ledger_path(h)
+    h.add_argument("run_id", help="run id (unique prefix accepted)")
+    h.add_argument("--top", type=int, default=10,
+                   help="how many slowest cones to list")
+    h.set_defaults(func=cmd_history)
+
+    h = hist.add_parser(
+        "compare",
+        help="compare two runs (default: latest two finished); exit 2 "
+             "on a quality or wall-time regression",
+    )
+    add_ledger_path(h)
+    h.add_argument("base", nargs="?", default=None,
+                   help="baseline run id (default: second-newest)")
+    h.add_argument("current", nargs="?", default=None,
+                   help="candidate run id (default: newest)")
+    h.add_argument("--command", dest="run_command", default=None,
+                   help="restrict the default pick to this CLI command")
+    h.add_argument("--input", default=None,
+                   help="restrict the default pick to this input path")
+    h.add_argument("--wall-threshold", type=float, default=0.25,
+                   help="fractional wall-time slowdown tolerated "
+                        "(default 0.25)")
+    h.set_defaults(func=cmd_history)
+
+    h = hist.add_parser(
+        "regressions",
+        help="scan every (command, input) trajectory: latest vs "
+             "previous run; exit 2 if any regressed",
+    )
+    add_ledger_path(h)
+    h.add_argument("--wall-threshold", type=float, default=0.25)
+    h.set_defaults(func=cmd_history)
+
+    h = hist.add_parser("export", help="dump all runs as JSONL")
+    add_ledger_path(h)
+    h.add_argument("-o", "--output", required=True)
+    h.set_defaults(func=cmd_history)
 
     p = sub.add_parser("check", help="equivalence check two netlists")
     p.add_argument("left")

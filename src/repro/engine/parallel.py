@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import sys
 import time
 from typing import Any, Optional
 
@@ -100,26 +101,58 @@ class ParallelConeScheduler:
     parent-side wait per future is ``timeout + TIMEOUT_GRACE`` seconds
     (unlimited when ``timeout`` is ``None``); note the inline path
     cannot enforce timeouts.
+
+    A :class:`~repro.obs.costmodel.ConeCostModel` (optional) reorders
+    *dispatch only*: tasks are submitted to the pool longest-predicted
+    first (LPT), which trims the makespan tail, while callers still
+    merge in their own fixed order — results are keyed by sink, so the
+    dispatch permutation cannot change the output.  The order actually
+    used is recorded in :attr:`dispatch_order` after each ``execute``.
     """
 
     def __init__(
         self,
         workers: int,
         timeout: Optional[float] = None,
+        cost_model: Optional[Any] = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.timeout = timeout
+        self.cost_model = cost_model
+        #: Sinks in the order the last ``execute`` dispatched them.
+        self.dispatch_order: list[str] = []
 
     # -- execution ------------------------------------------------------
+
+    def _dispatch_permutation(self, tasks: list[ConeTask]) -> list[int]:
+        """LPT permutation from the cost model, or the identity (static
+        plan order) when no model is loaded or prediction fails."""
+        identity = list(range(len(tasks)))
+        model = self.cost_model
+        if model is None:
+            return identity
+        try:
+            order = list(model.order(tasks))
+        except Exception:
+            if _obs.enabled():
+                _obs.inc("parallel.costmodel.errors")
+            return identity
+        if sorted(order) != identity:  # not a permutation — ignore it
+            return identity
+        return order
 
     def execute(self, tasks: list[ConeTask]) -> dict[str, dict[str, Any]]:
         """Run every task; returns ``{sink: result_or_failure}`` with an
         entry for each task (failures never raise)."""
         if not tasks:
+            self.dispatch_order = []
             return {}
+        order = self._dispatch_permutation(tasks)
+        dispatch = [tasks[i] for i in order]
+        self.dispatch_order = [task.sink for task in dispatch]
         if self.workers == 1:
-            return self._execute_inline(tasks)
-        return self._execute_pool(tasks)
+            return self._execute_inline(dispatch)
+        return self._execute_pool(dispatch)
 
     def _execute_inline(
         self, tasks: list[ConeTask]
@@ -375,10 +408,17 @@ class DecomposeParallelPass(_BasePass):
             return
 
         # -- execution ---------------------------------------------------
-        scheduler = ParallelConeScheduler(workers, timeout=timeout)
+        cost_model = self._load_cost_model()
+        scheduler = ParallelConeScheduler(
+            workers, timeout=timeout, cost_model=cost_model
+        )
         if _obs.enabled():
             _obs.set_gauge("parallel.workers", workers)
             _obs.inc("parallel.tasks", len(tasks))
+            # Progress gauges the RuntimeMonitor mirrors into status.json.
+            _obs.set_gauge("parallel.cones.total", len(tasks))
+            _obs.set_gauge("parallel.cones.merged", 0)
+            _obs.set_gauge("parallel.cones.degraded", 0)
         began = time.perf_counter()
         with _obs.span("algorithm1.parallel.execute"):
             results = scheduler.execute(tasks)
@@ -386,9 +426,14 @@ class DecomposeParallelPass(_BasePass):
             _obs.observe(
                 "parallel.execute.elapsed", time.perf_counter() - began
             )
+        context.artifacts["parallel.dispatch"] = {
+            "order": list(scheduler.dispatch_order),
+            "profile_guided": bool(cost_model),
+        }
 
         # -- deterministic merge (sink order, not completion order) ------
         degraded_cones: list[str] = []
+        cone_stats: list[dict[str, Any]] = []
         merges = 0
         for task in tasks:
             sink = task.sink
@@ -396,7 +441,28 @@ class DecomposeParallelPass(_BasePass):
                 sink, "missing", "no result returned"
             )
             self._merge_one(context, task, result, degraded_cones)
+            cone_stats.append(
+                {
+                    "sink": sink,
+                    "task_key": task.task_key(),
+                    "signature": result.get("signature"),
+                    "cone_inputs": int(
+                        result.get("cone_inputs")
+                        or len(task.slice.get("inputs", []))
+                    ),
+                    "action": result.get("action"),
+                    "elapsed": result.get("elapsed"),
+                    "tree_cost": result.get("tree_cost"),
+                    "original_cost": result.get("original_cost"),
+                    "pid": result.get("pid"),
+                }
+            )
             merges += 1
+            if _obs.enabled():
+                _obs.set_gauge("parallel.cones.merged", merges)
+                _obs.set_gauge(
+                    "parallel.cones.degraded", len(degraded_cones)
+                )
             if context.mid_pass_checkpoint is not None:
                 context.mid_pass_checkpoint()
             if abort_after is not None and merges >= int(abort_after):
@@ -408,6 +474,36 @@ class DecomposeParallelPass(_BasePass):
             "total": len(tasks),
             "degraded": len(degraded_cones),
         }
+        context.artifacts["parallel.cone_stats"] = cone_stats
+        # Ledger append via sys.modules — never an import, so ledger-off
+        # runs stay I/O-free (bench_ledger asserts the module is absent).
+        ledger_mod = sys.modules.get("repro.obs.ledger")
+        if ledger_mod is not None:
+            ledger_mod.record_cones_active(cone_stats)
+
+    def _load_cost_model(self) -> Optional[Any]:
+        """The cone cost model for this run: the ``_cost_model``
+        ephemeral param (test hook) wins; otherwise learn from the
+        active ledger's history when one is live.  Never raises — no
+        model just means static plan order."""
+        model = self.params.get("_cost_model")
+        if model is not None:
+            return model
+        ledger_mod = sys.modules.get("repro.obs.ledger")
+        if ledger_mod is None:
+            return None
+        active = ledger_mod.active_run()
+        if active is None:
+            return None
+        try:
+            from repro.obs.costmodel import ConeCostModel
+
+            loaded = ConeCostModel.from_ledger(active[0])
+        except Exception:
+            if _obs.enabled():
+                _obs.inc("parallel.costmodel.errors")
+            return None
+        return loaded if loaded else None
 
     # -- helpers ----------------------------------------------------------
 

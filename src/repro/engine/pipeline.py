@@ -22,6 +22,7 @@ be resumed with :func:`repro.engine.checkpoint.resume_pipeline`.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Any, Optional, Sequence, Union
 
@@ -160,6 +161,14 @@ class Pipeline:
                     pass_name=pass_.name,
                     elapsed=elapsed,
                     exhausted=exhausted,
+                )
+            # Ledger pass row, appended at the boundary so a crashed run
+            # still shows how far it got.  The sys.modules lookup keeps
+            # ledger-off runs import-free (see repro.obs.ledger).
+            ledger_mod = sys.modules.get("repro.obs.ledger")
+            if ledger_mod is not None:
+                ledger_mod.record_pass_active(
+                    index, pass_.name, elapsed, exhausted
                 )
             if checkpoint is not None:
                 from repro.engine.checkpoint import save_checkpoint

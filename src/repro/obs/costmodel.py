@@ -1,0 +1,105 @@
+"""Profile-guided cone cost model for parallel dispatch.
+
+The parallel decompose pass splits Algorithm 1's cone loop into
+independent :class:`~repro.synth.conetask.ConeTask` shards.  With a
+process pool, *dispatch order* determines makespan: submitting the
+longest cones first (classic LPT — longest processing time first) keeps
+workers busy at the tail instead of waiting on one late straggler that
+happened to sort last in plan order.
+
+This module predicts per-cone cost from the run ledger's history:
+
+* exact hits — the cone's structural
+  :meth:`~repro.synth.conetask.ConeTask.task_key` was seen before, use
+  the mean of its recorded worker-measured elapsed times;
+* bucket fallback — never-seen cones borrow the mean elapsed of cones
+  with the same input count (support size is the dominant cost driver
+  for BDD collapse + bi-decomposition);
+* cold start — no history at all predicts 0.0 for everything, and
+  :meth:`ConeCostModel.order` degrades to the identity permutation, i.e.
+  exactly the old static plan order.
+
+Ordering is used **only for dispatch**.  The scheduler's merge remains
+plan-ordered, so ``workers=N`` stays bit-identical to ``workers=1``
+whether or not a model is loaded — the determinism goldens enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.ledger import RunLedger
+    from repro.synth.conetask import ConeTask
+
+
+class ConeCostModel:
+    """Predicted seconds per cone, learned from ledger history.
+
+    ``exact`` maps structural task keys to mean elapsed seconds;
+    ``buckets`` maps cone-input counts to mean elapsed seconds for the
+    fallback.  Both may be empty.
+    """
+
+    def __init__(
+        self,
+        exact: Optional[dict[str, float]] = None,
+        buckets: Optional[dict[int, float]] = None,
+    ) -> None:
+        self.exact = dict(exact or {})
+        self.buckets = {int(k): float(v) for k, v in (buckets or {}).items()}
+
+    def __bool__(self) -> bool:
+        return bool(self.exact) or bool(self.buckets)
+
+    def __len__(self) -> int:
+        return len(self.exact)
+
+    @classmethod
+    def from_ledger(cls, ledger: "RunLedger | str") -> "ConeCostModel":
+        """Build from a :class:`~repro.obs.ledger.RunLedger` (or a path
+        to one).  A missing/empty ledger yields an empty model."""
+        from repro.obs.ledger import LedgerError, RunLedger
+
+        close = False
+        if not hasattr(ledger, "cone_costs"):
+            try:
+                ledger = RunLedger(ledger, readonly=True)
+            except LedgerError:
+                return cls()
+            close = True
+        try:
+            exact = {
+                key: stats["mean"]
+                for key, stats in ledger.cone_costs().items()
+            }
+            buckets = ledger.input_bucket_costs()
+        finally:
+            if close:
+                ledger.close()
+        return cls(exact=exact, buckets=buckets)
+
+    def predict(self, task: "ConeTask") -> float:
+        """Predicted seconds for one task (0.0 when nothing is known)."""
+        key = task.task_key()
+        if key in self.exact:
+            return self.exact[key]
+        n_inputs = len(task.slice.get("inputs", []))
+        return self.buckets.get(n_inputs, 0.0)
+
+    def order(self, tasks: Sequence["ConeTask"]) -> list[int]:
+        """LPT dispatch permutation: indices into ``tasks`` sorted by
+        descending predicted cost, plan index as the stable tie-break.
+        With no history this is the identity — static plan order."""
+        if not self:
+            return list(range(len(tasks)))
+        costs = [self.predict(task) for task in tasks]
+        return sorted(range(len(tasks)), key=lambda i: (-costs[i], i))
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly summary (for artifacts and status files)."""
+        return {
+            "exact_keys": len(self.exact),
+            "buckets": len(self.buckets),
+            "loaded": bool(self),
+        }

@@ -135,6 +135,17 @@ def build_crash_bundle(
         except Exception:  # pragma: no cover - defensive
             pass
     bundle["bdd_managers"] = _manager_rows()
+    # Ledger identity (path + run id) so a post-mortem can pull the
+    # crashed run's pass/cone rows.  sys.modules lookup — no import, so
+    # ledger-off runs add no I/O here either.
+    ledger_mod = sys.modules.get("repro.obs.ledger")
+    if ledger_mod is not None:
+        try:
+            info = ledger_mod.active_info()
+        except Exception:  # pragma: no cover - defensive
+            info = None
+        if info:
+            bundle["ledger"] = info
     if extra:
         bundle["extra"] = dict(extra)
     return bundle

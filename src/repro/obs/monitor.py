@@ -85,6 +85,9 @@ class RuntimeMonitor:
         self.samples = 0
         self.sample_errors = 0
         self.last_sample: Optional[dict[str, Any]] = None
+        #: Static fields merged into every sample (the CLI stamps the
+        #: ledger identity here so status.json names the run's row).
+        self.extra: dict[str, Any] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -178,6 +181,16 @@ class RuntimeMonitor:
             "rss_kb": rss,
             "spans": spans,
         }
+        # Worker/cone progress: the parallel pass maintains
+        # ``parallel.cones.*`` gauges while it merges shards.
+        try:
+            progress = self._registry.gauge_values("parallel.")
+        except Exception:
+            progress = {}
+        if progress:
+            sample["parallel"] = progress
+        for key, value in self.extra.items():
+            sample.setdefault(key, value)
         if self.governor is not None:
             snapshot = self.governor.snapshot()
             snapshot["remaining_time"] = self.governor.remaining_time()

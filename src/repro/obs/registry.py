@@ -212,6 +212,17 @@ class Registry:
         with self._lock:
             self.gauges[name] = value
 
+    def gauge_values(self, prefix: str = "") -> dict[str, float]:
+        """Current gauges whose names start with ``prefix`` (thread-safe
+        snapshot — the monitor uses this to surface progress gauges,
+        e.g. ``parallel.cones.*``, in status.json)."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self.gauges.items()
+                if name.startswith(prefix)
+            }
+
     def observe(self, name: str, value: float) -> None:
         with self._lock:
             histogram = self.histograms.get(name)
@@ -288,6 +299,12 @@ class Registry:
         """The currently-alive tracked managers (for monitor sampling)."""
         with self._lock:
             return list(self._bdd_live)
+
+    def bdd_peak_nodes(self) -> int:
+        """Largest node count any single tracked manager reached, dead
+        or alive (0 when nothing was tracked)."""
+        _, gauges = self._bdd_snapshot()
+        return int(gauges.get("bdd.nodes.peak", 0))
 
     def _bdd_snapshot(self) -> tuple[dict[str, float], dict[str, float]]:
         """Aggregated (counters, gauges) of every tracked manager, dead

@@ -202,6 +202,26 @@ class TestSimulateConvert:
         assert outputs_equal(parse_blif(DEMO), read_bench(out), cycles=30)
 
 
+class TestTraceHardening:
+    def test_missing_trace_is_friendly_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_corrupt_trace_is_friendly_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json at all")
+        assert main(["trace", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_corrupt_chrome_trace_is_friendly_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [truncated')
+        assert main(["trace", str(bad)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestGenerate:
     def test_generate_iscas(self, tmp_path, capsys):
         out_path = str(tmp_path / "s344.blif")

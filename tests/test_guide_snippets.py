@@ -143,6 +143,29 @@ class TestGuideSnippets:
         assert f
         obs.reset()
 
+    def test_run_ledger_snippet(self, tmp_path):
+        from repro.benchgen import iscas_analog
+        from repro.obs import ledger as obs_ledger
+        from repro.obs.costmodel import ConeCostModel
+        from repro.synth import SynthesisOptions, algorithm1
+
+        net = iscas_analog("s344")
+        ledger = obs_ledger.RunLedger(tmp_path / "runs.db")
+        run_id = ledger.begin_run(
+            command="optimize", input="s344",
+            netlist_signature=obs_ledger.netlist_signature(net),
+        )
+        obs_ledger.activate(ledger, run_id)
+        report = algorithm1(net.copy(), SynthesisOptions(parallel_workers=2))
+        obs_ledger.finish_active(wall=report.runtime)
+        obs_ledger.deactivate()
+
+        assert ledger.run(run_id)["status"] == "finished"
+        assert ledger.cones(run_id)
+        model = ConeCostModel.from_ledger(ledger)
+        assert model
+        ledger.close()
+
     def test_tracing_snippet(self, tmp_path):
         import json
 
