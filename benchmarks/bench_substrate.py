@@ -60,6 +60,52 @@ def test_bdd_apply_and(benchmark, request):
     capture_substrate_metrics(request, lambda: run(*setup()[0]))
 
 
+def test_bdd_unique_probe(benchmark):
+    """Raw unique-table probe throughput: re-request triples that are
+    already interned, so every ``_mk`` is a pure open-address hit (no
+    node creation, no cache involvement)."""
+    tables = _random_tables(10, 12, 9)
+    manager, nodes = _build_nodes(tables, 10)
+    triples = [
+        (manager.top_var(n), manager.lo(n), manager.hi(n))
+        for n in range(2, manager.num_nodes)
+    ]
+    before = manager.num_nodes
+
+    def run():
+        mk = manager._mk
+        acc = 0
+        for _ in range(20):
+            for level, lo, hi in triples:
+                acc = mk(level, lo, hi)
+        return acc
+
+    benchmark.pedantic(run, rounds=ROUNDS)
+    assert manager.num_nodes == before  # probes only, nothing created
+
+
+def test_bdd_cache_hit(benchmark):
+    """Warm op-cache throughput: repeat the same AND/ITE pairs over one
+    manager so after the first sweep every lookup is a direct-mapped
+    cache hit."""
+    tables = _random_tables(10, 16, 10)
+    manager, nodes = _build_nodes(tables, 10)
+    pairs = [(f, g) for f in nodes for g in nodes]
+    for f, g in pairs:  # warm the caches once before timing
+        manager.apply_and(f, g)
+        manager.ite(f, g, manager.negate(g))
+
+    def run():
+        acc = 0
+        for _ in range(10):
+            for f, g in pairs:
+                acc = manager.apply_and(f, g)
+                acc = manager.ite(f, g, manager.negate(g))
+        return acc
+
+    benchmark.pedantic(run, rounds=ROUNDS)
+
+
 def test_bdd_exists(benchmark, request):
     tables = _random_tables(10, 10, 2)
     subsets = [

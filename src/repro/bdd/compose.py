@@ -65,19 +65,51 @@ def transfer(
     (identity by default).  Used to re-order a function by transferring it
     into a manager with a different variable creation order.
     """
+    return transfer_multi(source, [f], target, var_map)[0]
+
+
+def transfer_multi(
+    source: BDDManager,
+    roots: "list[int] | tuple[int, ...]",
+    target: BDDManager,
+    var_map: Mapping[int, int] | None = None,
+    node_map: dict[int, int] | None = None,
+) -> list[int]:
+    """Rebuild several functions from ``source`` inside ``target``,
+    sharing one translation cache across all roots.
+
+    The walk is iterative (chain-shaped BDDs can be thousands of levels
+    deep — compaction must not hit the recursion limit).  ``node_map``,
+    when given, is used as the shared cache and is left filled with the
+    complete source-node -> target-node translation afterwards — that is
+    the remap table compaction hands back to handle holders.
+    """
     if var_map is None:
         var_map = {v: v for v in range(source.num_vars)}
-    cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
-
-    def walk(node: int) -> int:
-        hit = cache.get(node)
-        if hit is not None:
-            return hit
-        lo = walk(source.lo(node))
-        hi = walk(source.hi(node))
-        var = target.var(var_map[source.top_var(node)])
-        result = target.ite(var, hi, lo)
-        cache[node] = result
-        return result
-
-    return walk(f)
+    cache = node_map if node_map is not None else {}
+    cache.setdefault(FALSE, FALSE)
+    cache.setdefault(TRUE, TRUE)
+    src_lo = source.lo
+    src_hi = source.hi
+    src_top = source.top_var
+    out: list[int] = []
+    for root in roots:
+        if root in cache:
+            out.append(cache[root])
+            continue
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in cache:
+                continue
+            if expanded:
+                lo = cache[src_lo(node)]
+                hi = cache[src_hi(node)]
+                var = target.var(var_map[src_top(node)])
+                cache[node] = target.ite(var, hi, lo)
+                continue
+            stack.append((node, True))
+            stack.append((src_hi(node), False))
+            stack.append((src_lo(node), False))
+        out.append(cache[root])
+    return out

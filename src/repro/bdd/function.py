@@ -177,6 +177,14 @@ class Function:
         """Cofactor by a partial assignment."""
         return Function(self.manager, self.manager.restrict(self.node, dict(assignment)))
 
+    def transfer(self, target: BDDManager) -> "Function":
+        """Rebuild this function inside ``target`` (same variable
+        indices; use :func:`repro.bdd.reorder.reorder` for an
+        order-changing move)."""
+        from repro.bdd.compose import transfer as _transfer
+
+        return Function(target, _transfer(self.manager, self.node, target))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.node == TRUE:
             return "<Function TRUE>"

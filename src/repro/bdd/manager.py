@@ -7,11 +7,42 @@ indexing into parallel arrays; the
 :class:`~repro.bdd.function.Function` wrapper offers an operator-overloaded
 facade on top of this integer API.
 
+Storage layout
+--------------
+
+All hot-path state lives in flat preallocated ``array('q')`` buffers —
+no per-probe tuple or boxed-key allocation, and the same memory is
+shared byte-for-byte with the optional native kernel
+(:mod:`repro.bdd.native`):
+
+* ``_level/_lo/_hi`` — parallel node arrays with explicit capacity and a
+  node counter (``ctrl[NNODES]``); they grow in place by doubling.
+* ``_uniq`` — the unique table as an open-addressed, linearly probed
+  power-of-two slot array holding node indices (0 = empty; the
+  terminals never occupy a slot).  Key comparison reads the node arrays
+  directly, so the ``(level, lo, hi)`` triple never needs to fit one
+  packed word.  The table grows by rehash above 75% load; every
+  internal node is always live (there is no garbage collection), so a
+  rehash is a straight re-seating of nodes ``2..n``.
+* operation caches (``ite``/AND/OR/XOR/NOT) — bounded direct-mapped
+  tables (a linear probe of length one) with in-place eviction, CUDD
+  style: binary keys pack as ``f << 31 | g`` into one 64-bit word, the
+  ternary ``ite`` key keeps its third operand in a parallel array.
+  They start small, double deterministically at 50% occupancy up to a
+  fixed cap, and every in-place overwrite counts as an eviction in
+  :class:`ManagerStats`.
+* quantification caches (``exists``/``forall``/``and_exists``) — *lossless*
+  open-addressed tables that grow by rehash (no eviction): persistence
+  across calls is what the image-computation loops rely on.
+
 The operator cores are *iterative*: each runs an explicit work stack
 instead of recursing, so chain-shaped BDDs thousands of levels deep
 neither pay per-frame Python call overhead nor hit the interpreter
-recursion limit.  Hot loops bind the node arrays and caches to locals
-and inline the unique-table lookup (`_mk`) into the reduce step.
+recursion limit.  When the native kernel is available the frames run in
+C over the same buffers; the pure-Python cores below are the fallback
+and mirror the C traversal order exactly, so **node numbering is
+bit-identical across kernels** — determinism contracts hold no matter
+which side executed.
 
 Conventions
 -----------
@@ -28,6 +59,7 @@ Conventions
 
 from __future__ import annotations
 
+from array import array
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence
 
 from repro import obs as _obs
@@ -38,6 +70,63 @@ TERMINAL_LEVEL = 1 << 30
 
 FALSE = 0
 TRUE = 1
+
+# Hash multipliers shared with the C kernel (see _kernel.c).  Operands
+# stay below 2^31, so the mixed sums stay below 2^64 and Python's exact
+# integers agree with C's uint64 arithmetic without masking.
+_M1 = 2654435761  # 0x9E3779B1
+_M2 = 2246822519  # 0x85EBCA77
+_M3 = 3266489917  # 0xC2B2AE3D
+
+# ctrl[] slots — keep in sync with _kernel.c.
+_C_NNODES = 0
+_C_NODECAP = 1
+_C_UNIQ_MASK = 2
+_C_UNIQ_USED = 3
+_C_AND_MASK = 4
+_C_OR_MASK = 5
+_C_XOR_MASK = 6
+_C_NOT_MASK = 7
+_C_ITE_MASK = 8
+_C_AND_USED = 9
+_C_OR_USED = 10
+_C_XOR_USED = 11
+_C_NOT_USED = 12
+_C_ITE_USED = 13
+_CTRL_SLOTS = 14
+
+# stats[] slots — keep in sync with _kernel.c.
+_S_ITE_HIT = 0
+_S_ITE_MISS = 1
+_S_AND_HIT = 2
+_S_AND_MISS = 3
+_S_OR_HIT = 4
+_S_OR_MISS = 5
+_S_XOR_HIT = 6
+_S_XOR_MISS = 7
+_S_NOT_HIT = 8
+_S_NOT_MISS = 9
+_S_EX_HIT = 10
+_S_EX_MISS = 11
+_S_FA_HIT = 12
+_S_FA_MISS = 13
+_S_AE_HIT = 14
+_S_AE_MISS = 15
+_S_INSERTS = 16
+_S_CLEARS = 17
+_S_EVICTED = 18
+_N_STATS = 19
+
+#: Initial node-array capacity (entries).
+_NODE_INIT = 1 << 8
+#: Initial unique-table slot count; grows by rehash above 75% load.
+_UNIQUE_INIT = 1 << 9
+#: Initial / maximum direct-mapped op-cache slot counts.  Caches double
+#: deterministically at 50% occupancy until the cap, then evict in place.
+_OPCACHE_INIT = 1 << 8
+_OPCACHE_MAX = 1 << 16
+#: Initial quantification-cache slot count (grows by rehash, lossless).
+_QCACHE_INIT = 1 << 8
 
 
 class VarCube:
@@ -50,12 +139,15 @@ class VarCube:
     matters, do not construct these directly.
     """
 
-    __slots__ = ("cube_id", "vars", "max_level")
+    __slots__ = ("cube_id", "vars", "max_level", "levels")
 
     def __init__(self, cube_id: int, vars: FrozenSet[int], max_level: int) -> None:
         self.cube_id = cube_id
         self.vars = vars
         self.max_level = max_level
+        #: Sorted flat copy of ``vars`` — the native quantify kernel
+        #: scans this buffer for level membership.
+        self.levels = array("q", sorted(vars))
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.vars)
@@ -70,64 +162,93 @@ class VarCube:
         return f"<VarCube #{self.cube_id} vars={sorted(self.vars)}>"
 
 
-class ManagerStats:
-    """Local per-manager instrumentation counters.
+#: Field name -> stats-array slot, defining the public counter API.
+_STAT_INDEX = {
+    "ite_hits": _S_ITE_HIT,
+    "ite_misses": _S_ITE_MISS,
+    "and_hits": _S_AND_HIT,
+    "and_misses": _S_AND_MISS,
+    "or_hits": _S_OR_HIT,
+    "or_misses": _S_OR_MISS,
+    "xor_hits": _S_XOR_HIT,
+    "xor_misses": _S_XOR_MISS,
+    "not_hits": _S_NOT_HIT,
+    "not_misses": _S_NOT_MISS,
+    "exists_hits": _S_EX_HIT,
+    "exists_misses": _S_EX_MISS,
+    "forall_hits": _S_FA_HIT,
+    "forall_misses": _S_FA_MISS,
+    "and_exists_hits": _S_AE_HIT,
+    "and_exists_misses": _S_AE_MISS,
+    "inserts": _S_INSERTS,
+    "cache_clears": _S_CLEARS,
+    "cache_evicted": _S_EVICTED,
+}
 
-    Kept as plain slotted integers (not :mod:`repro.obs` calls) because
-    the operator cores are the hottest code in the package; the obs
-    registry aggregates these objects at report time instead.  ``None``
-    on uninstrumented managers, so the per-operation cost while disabled
-    is a single attribute check.
+
+class ManagerStats:
+    """Per-manager instrumentation counters.
+
+    The raw counters live in the manager's shared ``array('q')`` stats
+    buffer — the C kernel increments them for free, the Python cores
+    with one array store — and this object is a *window* over that
+    buffer: each named counter reads as the delta since
+    :meth:`BDDManager.enable_stats` captured its baseline, preserving
+    the historical "counting begins now" semantics.  ``None`` on
+    untracked managers.
+
+    Structural counters (``inserts``) are exact and kernel-independent;
+    probe counters (hits/misses) can differ marginally between the
+    native and pure-Python kernels because the native grow-and-restart
+    protocol re-probes a partially-finished operation after a growth
+    abort.  Node numbering is unaffected either way.
     """
 
-    __slots__ = (
-        "ite_hits",
-        "ite_misses",
-        "and_hits",
-        "and_misses",
-        "or_hits",
-        "or_misses",
-        "xor_hits",
-        "xor_misses",
-        "not_hits",
-        "not_misses",
-        "exists_hits",
-        "exists_misses",
-        "forall_hits",
-        "forall_misses",
-        "and_exists_hits",
-        "and_exists_misses",
-        "inserts",
-        "cache_clears",
-        "cache_evicted",
-    )
+    __slots__ = ("_arr", "_base")
 
-    def __init__(self) -> None:
-        for slot in self.__slots__:
-            setattr(self, slot, 0)
+    def __init__(self, arr: array, base: array) -> None:
+        object.__setattr__(self, "_arr", arr)
+        object.__setattr__(self, "_base", base)
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            index = _STAT_INDEX[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        return self._arr[index] - self._base[index]
+
+    def __setattr__(self, name: str, value: int) -> None:
+        try:
+            index = _STAT_INDEX[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        self._arr[index] = value + self._base[index]
 
     def as_dict(self) -> dict[str, int]:
         """Counter snapshot under the names the obs ``bdd`` family uses."""
+        arr = self._arr
+        base = self._base
+        get = lambda i: arr[i] - base[i]  # noqa: E731 - tiny local reader
         return {
-            "cache.ite.hits": self.ite_hits,
-            "cache.ite.misses": self.ite_misses,
-            "cache.and.hits": self.and_hits,
-            "cache.and.misses": self.and_misses,
-            "cache.or.hits": self.or_hits,
-            "cache.or.misses": self.or_misses,
-            "cache.xor.hits": self.xor_hits,
-            "cache.xor.misses": self.xor_misses,
-            "cache.not.hits": self.not_hits,
-            "cache.not.misses": self.not_misses,
-            "cache.exists.hits": self.exists_hits,
-            "cache.exists.misses": self.exists_misses,
-            "cache.forall.hits": self.forall_hits,
-            "cache.forall.misses": self.forall_misses,
-            "cache.and_exists.hits": self.and_exists_hits,
-            "cache.and_exists.misses": self.and_exists_misses,
-            "unique.inserts": self.inserts,
-            "cache.clears": self.cache_clears,
-            "cache.evicted": self.cache_evicted,
+            "cache.ite.hits": get(_S_ITE_HIT),
+            "cache.ite.misses": get(_S_ITE_MISS),
+            "cache.and.hits": get(_S_AND_HIT),
+            "cache.and.misses": get(_S_AND_MISS),
+            "cache.or.hits": get(_S_OR_HIT),
+            "cache.or.misses": get(_S_OR_MISS),
+            "cache.xor.hits": get(_S_XOR_HIT),
+            "cache.xor.misses": get(_S_XOR_MISS),
+            "cache.not.hits": get(_S_NOT_HIT),
+            "cache.not.misses": get(_S_NOT_MISS),
+            "cache.exists.hits": get(_S_EX_HIT),
+            "cache.exists.misses": get(_S_EX_MISS),
+            "cache.forall.hits": get(_S_FA_HIT),
+            "cache.forall.misses": get(_S_FA_MISS),
+            "cache.and_exists.hits": get(_S_AE_HIT),
+            "cache.and_exists.misses": get(_S_AE_MISS),
+            "unique.inserts": get(_S_INSERTS),
+            "cache.clears": get(_S_CLEARS),
+            "cache.evicted": get(_S_EVICTED),
         }
 
 
@@ -143,29 +264,79 @@ class BDDManager:
     num_vars:
         Number of variables to pre-declare (they get default names
         ``x0, x1, ...``).  More can be added later with :meth:`new_var`.
+    native:
+        ``True``/``False`` forces the native C kernel on or off for this
+        manager; ``None`` (the default) uses it when
+        :func:`repro.bdd.native.kernel` loads.  Both kernels produce
+        identical node numbering.
+    auto_reorder_threshold:
+        When set, :meth:`reorder_due` reports ``True`` once the manager
+        has grown by this many nodes since the last
+        :meth:`mark_reordered` — the growth trigger the engine's
+        auto-reorder hooks poll at safe points.  ``None`` disables the
+        trigger.
     """
 
-    def __init__(self, num_vars: int = 0) -> None:
+    def __init__(
+        self,
+        num_vars: int = 0,
+        native: Optional[bool] = None,
+        auto_reorder_threshold: Optional[int] = None,
+    ) -> None:
+        self._ctrl = array("q", bytes(8 * _CTRL_SLOTS))
+        self._stat_arr = array("q", bytes(8 * _N_STATS))
         # Parallel node arrays; slots 0/1 are the terminals.
-        self._level = [TERMINAL_LEVEL, TERMINAL_LEVEL]
-        self._lo = [0, 1]
-        self._hi = [0, 1]
-        self._unique: dict[tuple[int, int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._and_cache: dict[tuple[int, int], int] = {}
-        self._or_cache: dict[tuple[int, int], int] = {}
-        self._xor_cache: dict[tuple[int, int], int] = {}
-        self._not_cache: dict[int, int] = {}
+        self._level = array("q", bytes(8 * _NODE_INIT))
+        self._lo = array("q", bytes(8 * _NODE_INIT))
+        self._hi = array("q", bytes(8 * _NODE_INIT))
+        self._level[0] = TERMINAL_LEVEL
+        self._level[1] = TERMINAL_LEVEL
+        self._hi[1] = 1
+        self._lo[1] = 1
+        self._ctrl[_C_NNODES] = 2
+        self._ctrl[_C_NODECAP] = _NODE_INIT
+        self._uniq = array("q", bytes(8 * _UNIQUE_INIT))
+        self._ctrl[_C_UNIQ_MASK] = _UNIQUE_INIT - 1
+        # Operation caches are allocated lazily on the first operator
+        # call — transfer-only managers (reordering cost probes) never
+        # pay for them.
+        self._and_k = self._and_v = None
+        self._or_k = self._or_v = None
+        self._xor_k = self._xor_v = None
+        self._not_k = self._not_v = None
+        self._ite_ka = self._ite_kb = self._ite_v = None
         # Persistent quantification caches, keyed by (node, cube_id) —
         # see repro.bdd.quantify.  Interned cubes live for the manager's
         # lifetime (bounded by the number of distinct variable sets).
-        self._exists_cache: dict[tuple[int, int], int] = {}
-        self._forall_cache: dict[tuple[int, int], int] = {}
-        self._and_exists_cache: dict[tuple[int, int, int], int] = {}
+        self._ex_k = self._ex_v = None
+        self._fa_k = self._fa_v = None
+        self._ae_k1 = self._ae_k2 = self._ae_v = None
+        self._ex_mask = self._fa_mask = self._ae_mask = 0
+        self._ex_used = self._fa_used = self._ae_used = 0
         self._cube_table: dict[FrozenSet[int], VarCube] = {}
         self._var_names: list[str] = []
         self._name_to_var: dict[str, int] = {}
         self._stats: Optional[ManagerStats] = None
+        # Native kernel wiring: cached cffi pointers into the arrays,
+        # dropped whenever a buffer is replaced or resized.
+        self._ffi = None
+        self._lib = None
+        self._bufs = None
+        self._buf_keep = None
+        if native is not False:
+            from repro.bdd import native as _native
+
+            handle = _native.kernel()
+            if handle is not None:
+                self._ffi, self._lib = handle
+            elif native is True:
+                raise RuntimeError(
+                    "native=True but the native BDD kernel is unavailable"
+                )
+        # Auto-reorder growth trigger (polled by engine/reach hooks).
+        self.auto_reorder_threshold = auto_reorder_threshold
+        self.reorders = 0
+        self._last_reorder_nodes = 2
         if _obs.enabled():
             self.enable_stats()
         for _ in range(num_vars):
@@ -185,48 +356,113 @@ class BDDManager:
         begins now; managers built while ``repro.obs`` is enabled track
         from birth automatically)."""
         if self._stats is None:
-            self._stats = ManagerStats()
+            self._stats = ManagerStats(self._stat_arr, array("q", self._stat_arr))
             _obs.track_bdd_manager(self)
         return self._stats
 
     @property
+    def native(self) -> bool:
+        """True when this manager's operator cores run in the C kernel."""
+        return self._lib is not None
+
+    @property
     def unique_size(self) -> int:
         """Number of unique-table entries (internal nodes)."""
-        return len(self._unique)
+        return self._ctrl[_C_UNIQ_USED]
 
     def cache_sizes(self) -> dict[str, int]:
         """Current entry counts of the operation and quantification
-        caches."""
+        caches (see :meth:`table_metrics` for occupancy *and* capacity)."""
+        ctrl = self._ctrl
         return {
-            "ite": len(self._ite_cache),
-            "and": len(self._and_cache),
-            "or": len(self._or_cache),
-            "xor": len(self._xor_cache),
-            "not": len(self._not_cache),
-            "exists": len(self._exists_cache),
-            "forall": len(self._forall_cache),
-            "and_exists": len(self._and_exists_cache),
+            "ite": ctrl[_C_ITE_USED],
+            "and": ctrl[_C_AND_USED],
+            "or": ctrl[_C_OR_USED],
+            "xor": ctrl[_C_XOR_USED],
+            "not": ctrl[_C_NOT_USED],
+            "exists": self._ex_used,
+            "forall": self._fa_used,
+            "and_exists": self._ae_used,
         }
+
+    def cache_capacities(self) -> dict[str, int]:
+        """Allocated slot counts per cache (0 while lazily unallocated)."""
+        ctrl = self._ctrl
+        return {
+            "ite": ctrl[_C_ITE_MASK] + 1 if self._ite_ka is not None else 0,
+            "and": ctrl[_C_AND_MASK] + 1 if self._and_k is not None else 0,
+            "or": ctrl[_C_OR_MASK] + 1 if self._or_k is not None else 0,
+            "xor": ctrl[_C_XOR_MASK] + 1 if self._xor_k is not None else 0,
+            "not": ctrl[_C_NOT_MASK] + 1 if self._not_k is not None else 0,
+            "exists": self._ex_mask + 1 if self._ex_k is not None else 0,
+            "forall": self._fa_mask + 1 if self._fa_k is not None else 0,
+            "and_exists": self._ae_mask + 1 if self._ae_k1 is not None else 0,
+        }
+
+    def unique_load_factor(self) -> float:
+        """Unique-table occupancy fraction (entries / slots)."""
+        return self._ctrl[_C_UNIQ_USED] / (self._ctrl[_C_UNIQ_MASK] + 1)
+
+    def table_metrics(self) -> dict[str, dict[str, float]]:
+        """Per-table pressure gauges: occupancy, capacity, and load
+        factor for the unique table and every cache — the detail view
+        behind the RuntimeMonitor heartbeat and ``repro trace``
+        summaries."""
+        metrics: dict[str, dict[str, float]] = {
+            "unique": {
+                "used": self._ctrl[_C_UNIQ_USED],
+                "capacity": self._ctrl[_C_UNIQ_MASK] + 1,
+                "load": round(self.unique_load_factor(), 4),
+            }
+        }
+        capacities = self.cache_capacities()
+        for name, used in self.cache_sizes().items():
+            capacity = capacities[name]
+            metrics[f"cache.{name}"] = {
+                "used": used,
+                "capacity": capacity,
+                "load": round(used / capacity, 4) if capacity else 0.0,
+            }
+        return metrics
 
     def monitor_sample(self) -> dict[str, int]:
         """Cheap structural gauges for the runtime monitor: node/unique
-        counts and the summed cache entries.  Reads only ``len()`` of
-        existing containers, so it is safe to call from a sampler thread
-        while operator cores are running."""
+        counts, summed cache entries/capacity, and the unique-table load
+        factor.  Reads only scalar counters, so it is safe to call from
+        a sampler thread while operator cores are running."""
+        ctrl = self._ctrl
+        cache_entries = (
+            ctrl[_C_ITE_USED]
+            + ctrl[_C_AND_USED]
+            + ctrl[_C_OR_USED]
+            + ctrl[_C_XOR_USED]
+            + ctrl[_C_NOT_USED]
+            + self._ex_used
+            + self._fa_used
+            + self._ae_used
+        )
+        capacity = 0
+        if self._and_k is not None:
+            capacity += (
+                (ctrl[_C_AND_MASK] + 1)
+                + (ctrl[_C_OR_MASK] + 1)
+                + (ctrl[_C_XOR_MASK] + 1)
+                + (ctrl[_C_NOT_MASK] + 1)
+                + (ctrl[_C_ITE_MASK] + 1)
+            )
+        if self._ex_k is not None:
+            capacity += (self._ex_mask + 1) + (self._fa_mask + 1)
+        if self._ae_k1 is not None:
+            capacity += self._ae_mask + 1
+        unique_capacity = ctrl[_C_UNIQ_MASK] + 1
         return {
-            "nodes": self.num_nodes,
-            "unique": len(self._unique),
-            "cache_entries": (
-                len(self._ite_cache)
-                + len(self._and_cache)
-                + len(self._or_cache)
-                + len(self._xor_cache)
-                + len(self._not_cache)
-                + len(self._exists_cache)
-                + len(self._forall_cache)
-                + len(self._and_exists_cache)
-            ),
+            "nodes": ctrl[_C_NNODES],
+            "unique": ctrl[_C_UNIQ_USED],
+            "cache_entries": cache_entries,
             "vars": self.num_vars,
+            "unique_capacity": unique_capacity,
+            "unique_load": round(ctrl[_C_UNIQ_USED] / unique_capacity, 4),
+            "cache_capacity": capacity,
         }
 
     def stats_snapshot(self) -> dict[str, int]:
@@ -244,6 +480,24 @@ class BDDManager:
         if self._stats is not None:
             snapshot.update(self._stats.as_dict())
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Auto-reorder growth trigger
+    # ------------------------------------------------------------------
+
+    def reorder_due(self) -> bool:
+        """True when the node count has grown past the configured
+        threshold since the last :meth:`mark_reordered` — the signal the
+        engine's pass-boundary and reach-iteration hooks poll."""
+        threshold = self.auto_reorder_threshold
+        if threshold is None:
+            return False
+        return self._ctrl[_C_NNODES] - self._last_reorder_nodes >= threshold
+
+    def mark_reordered(self) -> None:
+        """Reset the growth trigger (called after a reorder/compaction
+        rebuilt the working set, on the manager that carries on)."""
+        self._last_reorder_nodes = self._ctrl[_C_NNODES]
 
     # ------------------------------------------------------------------
     # Variables
@@ -350,39 +604,287 @@ class BDDManager:
     @property
     def num_nodes(self) -> int:
         """Total number of nodes ever created (including terminals)."""
-        return len(self._level)
+        return self._ctrl[_C_NNODES]
 
     def _mk(self, level: int, lo: int, hi: int) -> int:
-        """Find-or-create the node ``(level, lo, hi)`` (the unique-table
-        lookup that enforces canonicity).  The operator cores inline this
-        logic; out-of-line callers (builders, compose, quantify) use this
-        method."""
+        """Find-or-create the node ``(level, lo, hi)``: the linear-probe
+        unique-table lookup that enforces canonicity.  The operator cores
+        (C and Python alike) inline this logic; out-of-line callers
+        (builders, compose, quantify) use this method."""
         if lo == hi:
             return lo
-        key = (level, lo, hi)
-        node = self._unique.get(key)
-        if node is None:
-            node = len(self._level)
-            self._level.append(level)
-            self._lo.append(lo)
-            self._hi.append(hi)
-            self._unique[key] = node
-            if self._stats is not None:
-                self._stats.inserts += 1
-        return node
+        ctrl = self._ctrl
+        uniq = self._uniq
+        mask = ctrl[_C_UNIQ_MASK]
+        la = self._level
+        loa = self._lo
+        ha = self._hi
+        slot = (level * _M1 + lo * _M2 + hi * _M3) & mask
+        while True:
+            node = uniq[slot]
+            if node == 0:
+                break
+            if la[node] == level and loa[node] == lo and ha[node] == hi:
+                return node
+            slot = (slot + 1) & mask
+        if (ctrl[_C_UNIQ_USED] + 1) * 4 > (mask + 1) * 3:
+            self._grow_unique()
+            return self._mk(level, lo, hi)
+        n = ctrl[_C_NNODES]
+        if n >= ctrl[_C_NODECAP]:
+            self._grow_nodes()
+        la[n] = level
+        loa[n] = lo
+        ha[n] = hi
+        uniq[slot] = n
+        ctrl[_C_NNODES] = n + 1
+        ctrl[_C_UNIQ_USED] += 1
+        self._stat_arr[_S_INSERTS] += 1
+        return n
 
     # ------------------------------------------------------------------
-    # Boolean operators (iterative explicit-stack cores)
+    # Storage growth
+    # ------------------------------------------------------------------
+
+    def _drop_bufs(self) -> None:
+        """Release the cached cffi views so the arrays are free to
+        resize (an ``array`` with an exported buffer refuses to grow)."""
+        self._bufs = None
+        self._buf_keep = None
+
+    def _grow_nodes(self) -> None:
+        """Double the node arrays in place (same objects, so bound
+        locals in running cores stay valid)."""
+        self._drop_bufs()
+        zeros = bytes(8 * len(self._level))
+        self._level.frombytes(zeros)
+        self._lo.frombytes(zeros)
+        self._hi.frombytes(zeros)
+        self._ctrl[_C_NODECAP] = len(self._level)
+
+    def _grow_unique(self) -> None:
+        """Double the unique table and re-seat every live node (all
+        internal nodes are always live, so this is a straight rehash)."""
+        self._drop_bufs()
+        new_cap = 2 * (self._ctrl[_C_UNIQ_MASK] + 1)
+        slots = array("q", bytes(8 * new_cap))
+        mask = new_cap - 1
+        if self._lib is not None:
+            ffi = self._ffi
+            raws = [
+                ffi.from_buffer(arr)
+                for arr in (self._ctrl, self._level, self._lo, self._hi, slots)
+            ]
+            self._lib.bdd_rehash_unique(
+                *(ffi.cast("int64_t *", raw) for raw in raws), mask
+            )
+            del raws
+        else:
+            la = self._level
+            loa = self._lo
+            ha = self._hi
+            for node in range(2, self._ctrl[_C_NNODES]):
+                slot = (la[node] * _M1 + loa[node] * _M2 + ha[node] * _M3) & mask
+                while slots[slot] != 0:
+                    slot = (slot + 1) & mask
+                slots[slot] = node
+            self._ctrl[_C_UNIQ_MASK] = mask
+        self._uniq = slots
+        self._ctrl[_C_UNIQ_MASK] = mask
+
+    def _alloc_op_caches(self) -> None:
+        ctrl = self._ctrl
+        zeros = bytes(8 * _OPCACHE_INIT)
+        self._and_k = array("q", zeros)
+        self._and_v = array("q", zeros)
+        self._or_k = array("q", zeros)
+        self._or_v = array("q", zeros)
+        self._xor_k = array("q", zeros)
+        self._xor_v = array("q", zeros)
+        self._not_k = array("q", zeros)
+        self._not_v = array("q", zeros)
+        self._ite_ka = array("q", zeros)
+        self._ite_kb = array("q", zeros)
+        self._ite_v = array("q", zeros)
+        mask = _OPCACHE_INIT - 1
+        for index in (_C_AND_MASK, _C_OR_MASK, _C_XOR_MASK, _C_NOT_MASK,
+                      _C_ITE_MASK):
+            ctrl[index] = mask
+        for index in (_C_AND_USED, _C_OR_USED, _C_XOR_USED, _C_NOT_USED,
+                      _C_ITE_USED):
+            ctrl[index] = 0
+        self._drop_bufs()
+
+    def _grow_binary_cache(self, which: str) -> None:
+        """Double one direct-mapped single-key cache and re-seat its
+        entries (collisions under the new mask overwrite and count as
+        evictions, keeping the counters truthful)."""
+        ctrl = self._ctrl
+        mask_idx, used_idx = {
+            "and": (_C_AND_MASK, _C_AND_USED),
+            "or": (_C_OR_MASK, _C_OR_USED),
+            "xor": (_C_XOR_MASK, _C_XOR_USED),
+            "not": (_C_NOT_MASK, _C_NOT_USED),
+        }[which]
+        old_k = getattr(self, f"_{which}_k")
+        old_v = getattr(self, f"_{which}_v")
+        new_cap = 2 * (ctrl[mask_idx] + 1)
+        mask = new_cap - 1
+        new_k = array("q", bytes(8 * new_cap))
+        new_v = array("q", bytes(8 * new_cap))
+        used = 0
+        evicted = 0
+        if which == "not":
+            for i, key in enumerate(old_k):
+                if key == 0:
+                    continue
+                slot = (key * _M1) & mask
+                if new_k[slot] == 0:
+                    used += 1
+                else:
+                    evicted += 1
+                new_k[slot] = key
+                new_v[slot] = old_v[i]
+        else:
+            for i, key in enumerate(old_k):
+                if key == 0:
+                    continue
+                slot = ((key >> 31) * _M1 + (key & 0x7FFFFFFF) * _M2) & mask
+                if new_k[slot] == 0:
+                    used += 1
+                else:
+                    evicted += 1
+                new_k[slot] = key
+                new_v[slot] = old_v[i]
+        setattr(self, f"_{which}_k", new_k)
+        setattr(self, f"_{which}_v", new_v)
+        ctrl[mask_idx] = mask
+        ctrl[used_idx] = used
+        self._stat_arr[_S_EVICTED] += evicted
+        self._drop_bufs()
+
+    def _grow_ite_cache(self) -> None:
+        ctrl = self._ctrl
+        old_ka, old_kb, old_v = self._ite_ka, self._ite_kb, self._ite_v
+        new_cap = 2 * (ctrl[_C_ITE_MASK] + 1)
+        mask = new_cap - 1
+        new_ka = array("q", bytes(8 * new_cap))
+        new_kb = array("q", bytes(8 * new_cap))
+        new_v = array("q", bytes(8 * new_cap))
+        used = 0
+        evicted = 0
+        for i, ka in enumerate(old_ka):
+            if ka == 0:
+                continue
+            kb = old_kb[i]
+            slot = ((ka >> 31) * _M1 + (ka & 0x7FFFFFFF) * _M2 + kb * _M3) & mask
+            if new_ka[slot] == 0:
+                used += 1
+            else:
+                evicted += 1
+            new_ka[slot] = ka
+            new_kb[slot] = kb
+            new_v[slot] = old_v[i]
+        self._ite_ka, self._ite_kb, self._ite_v = new_ka, new_kb, new_v
+        ctrl[_C_ITE_MASK] = mask
+        ctrl[_C_ITE_USED] = used
+        self._stat_arr[_S_EVICTED] += evicted
+        self._drop_bufs()
+
+    def _grow_op_cache(self, index: int) -> None:
+        """Double one op cache named by its thrash code index (0=and,
+        1=or, 2=xor, 3=not, 4=ite) — the mid-call escape hatch for a
+        single operation that evicts more entries than the cache holds,
+        where the entry-time occupancy trigger in :meth:`_prep_op` never
+        gets a chance to fire (in-place overwrites do not raise ``used``).
+        Without it a direct-mapped cache can thrash a big recursion into
+        exponential recomputation."""
+        if index == 4:
+            self._grow_ite_cache()
+        else:
+            self._grow_binary_cache(("and", "or", "xor", "not")[index])
+
+    def _prep_op(self) -> None:
+        """Per-operation entry hook: allocate the op caches on first use
+        and apply the deterministic growth policy (double at 50%
+        occupancy until the cap, then evict in place).  Growth decisions
+        depend only on the operation sequence for a given kernel; a
+        thrashing call may additionally double its cache mid-operation
+        (grow-and-restart in C, in place in Python), which never changes
+        node numbering because recomputation re-derives nodes through
+        the lossless unique table."""
+        ctrl = self._ctrl
+        if self._and_k is None:
+            self._alloc_op_caches()
+            return
+        if ctrl[_C_AND_MASK] + 1 < _OPCACHE_MAX:
+            if ctrl[_C_AND_USED] * 2 > ctrl[_C_AND_MASK]:
+                self._grow_binary_cache("and")
+            if ctrl[_C_OR_USED] * 2 > ctrl[_C_OR_MASK]:
+                self._grow_binary_cache("or")
+            if ctrl[_C_XOR_USED] * 2 > ctrl[_C_XOR_MASK]:
+                self._grow_binary_cache("xor")
+            if ctrl[_C_NOT_USED] * 2 > ctrl[_C_NOT_MASK]:
+                self._grow_binary_cache("not")
+            if ctrl[_C_ITE_USED] * 2 > ctrl[_C_ITE_MASK]:
+                self._grow_ite_cache()
+
+    # ------------------------------------------------------------------
+    # Native dispatch
+    # ------------------------------------------------------------------
+
+    _BUF_ORDER = (
+        "_ctrl", "_level", "_lo", "_hi", "_uniq",
+        "_and_k", "_and_v", "_or_k", "_or_v", "_xor_k", "_xor_v",
+        "_not_k", "_not_v", "_ite_ka", "_ite_kb", "_ite_v", "_stat_arr",
+    )
+
+    def _make_bufs(self) -> tuple:
+        ffi = self._ffi
+        keep = []
+        ptrs = []
+        for name in self._BUF_ORDER:
+            raw = ffi.from_buffer(getattr(self, name))
+            keep.append(raw)
+            ptrs.append(ffi.cast("int64_t *", raw))
+        self._buf_keep = keep
+        self._bufs = tuple(ptrs)
+        return self._bufs
+
+    def _call_native(self, fn, *args: int) -> int:
+        """Invoke a C core with the grow-and-restart protocol: negative
+        return codes ask Python to grow a structure, then the operation
+        restarts (partial results are already cached, so restarts are
+        near-free and numbering-invariant)."""
+        while True:
+            bufs = self._bufs
+            if bufs is None:
+                bufs = self._make_bufs()
+            result = fn(*args, *bufs)
+            if result >= 0:
+                return result
+            if result == -1:
+                self._grow_nodes()
+            elif result == -2:
+                self._grow_unique()
+            elif result <= -6:
+                self._grow_op_cache(-result - 6)
+            else:
+                raise MemoryError("native BDD kernel allocation failed")
+
+    # ------------------------------------------------------------------
+    # Boolean operators
     # ------------------------------------------------------------------
     #
-    # Each core is a post-order walk driven by two explicit stacks:
-    # ``tasks`` holds tagged frames (tag 0 = expand a subproblem, higher
-    # tags = reduce with children's results), ``results`` accumulates
-    # one value per finished subproblem.  Expanding pushes the reduce
-    # frame first, then the hi and lo children, so children complete
-    # before their reduce frame pops.  Node arrays, the unique table and
-    # the op cache are bound to locals, and the ``_mk`` unique-table
-    # lookup is fused into the reduce step.
+    # Each public operator applies the terminal short-circuits, then
+    # hands the general case to the C kernel when available, else to the
+    # matching pure-Python core below.  The cores are post-order walks
+    # driven by two explicit stacks: ``tasks`` holds tagged frames (tag
+    # 0 = expand a subproblem, tag 1 = reduce with children's results),
+    # ``results`` accumulates one value per finished subproblem.
+    # Expanding pushes the reduce frame first, then the hi and lo
+    # children, so children complete before their reduce frame pops —
+    # the traversal order both kernels share.
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f & g | ~f & h``.
@@ -390,7 +892,6 @@ class BDDManager:
         The workhorse ternary operator; all other connectives reduce to it,
         though AND/OR/XOR have specialised fast paths below.
         """
-        # Terminal short-circuits.
         if f == TRUE:
             return g
         if f == FALSE:
@@ -401,150 +902,19 @@ class BDDManager:
             return f
         if g == FALSE and h == TRUE:
             return self.negate(f)
-        stats = self._stats
-        cache = self._ite_cache
-        cached = cache.get((f, g, h))
-        if cached is not None:
-            if stats is not None:
-                stats.ite_hits += 1
-            return cached
-        level = self._level
-        lo_arr = self._lo
-        hi_arr = self._hi
-        unique = self._unique
-        negate = self.negate
-        tasks: list[tuple] = [(0, f, g, h)]
-        push = tasks.append
-        results: list[int] = []
-        rpush = results.append
-        while tasks:
-            frame = tasks.pop()
-            if frame[0] == 0:
-                _, f, g, h = frame
-                if f == TRUE:
-                    rpush(g)
-                    continue
-                if f == FALSE:
-                    rpush(h)
-                    continue
-                if g == h:
-                    rpush(g)
-                    continue
-                if g == TRUE and h == FALSE:
-                    rpush(f)
-                    continue
-                if g == FALSE and h == TRUE:
-                    rpush(negate(f))
-                    continue
-                key = (f, g, h)
-                cached = cache.get(key)
-                if cached is not None:
-                    if stats is not None:
-                        stats.ite_hits += 1
-                    rpush(cached)
-                    continue
-                if stats is not None:
-                    stats.ite_misses += 1
-                lf = level[f]
-                lg = level[g]
-                lh = level[h]
-                top = lf
-                if lg < top:
-                    top = lg
-                if lh < top:
-                    top = lh
-                if lf == top:
-                    f0 = lo_arr[f]
-                    f1 = hi_arr[f]
-                else:
-                    f0 = f1 = f
-                if lg == top:
-                    g0 = lo_arr[g]
-                    g1 = hi_arr[g]
-                else:
-                    g0 = g1 = g
-                if lh == top:
-                    h0 = lo_arr[h]
-                    h1 = hi_arr[h]
-                else:
-                    h0 = h1 = h
-                push((1, key, top))
-                push((0, f1, g1, h1))
-                push((0, f0, g0, h0))
-            else:
-                _, key, top = frame
-                hi = results.pop()
-                lo = results[-1]
-                if lo == hi:
-                    node = lo
-                else:
-                    ukey = (top, lo, hi)
-                    node = unique.get(ukey)
-                    if node is None:
-                        node = len(level)
-                        level.append(top)
-                        lo_arr.append(lo)
-                        hi_arr.append(hi)
-                        unique[ukey] = node
-                        if stats is not None:
-                            stats.inserts += 1
-                cache[key] = node
-                results[-1] = node
-        return results[0]
+        self._prep_op()
+        if self._lib is not None:
+            return self._call_native(self._lib.bdd_ite, f, g, h)
+        return self._py_ite(f, g, h)
 
     def negate(self, f: int) -> int:
         """Complement ``~f``."""
         if f <= 1:
             return 1 - f
-        stats = self._stats
-        cache = self._not_cache
-        cached = cache.get(f)
-        if cached is not None:
-            if stats is not None:
-                stats.not_hits += 1
-            return cached
-        level = self._level
-        lo_arr = self._lo
-        hi_arr = self._hi
-        unique = self._unique
-        tasks: list[tuple[int, int]] = [(0, f)]
-        push = tasks.append
-        results: list[int] = []
-        rpush = results.append
-        while tasks:
-            tag, n = tasks.pop()
-            if tag == 0:
-                if n <= 1:
-                    rpush(1 - n)
-                    continue
-                cached = cache.get(n)
-                if cached is not None:
-                    if stats is not None:
-                        stats.not_hits += 1
-                    rpush(cached)
-                    continue
-                if stats is not None:
-                    stats.not_misses += 1
-                push((1, n))
-                push((0, hi_arr[n]))
-                push((0, lo_arr[n]))
-            else:
-                hi = results.pop()
-                lo = results[-1]
-                ukey = (level[n], lo, hi)
-                node = unique.get(ukey)
-                if node is None:
-                    node = len(level)
-                    level.append(level[n])
-                    lo_arr.append(lo)
-                    hi_arr.append(hi)
-                    unique[ukey] = node
-                    if stats is not None:
-                        stats.inserts += 1
-                cache[n] = node
-                cache[node] = n
-                results[-1] = node
-        return results[0]
+        self._prep_op()
+        if self._lib is not None:
+            return self._call_native(self._lib.bdd_negate, f)
+        return self._py_negate(f)
 
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction ``f & g``."""
@@ -558,89 +928,10 @@ class BDDManager:
             return f
         if f > g:
             f, g = g, f
-        stats = self._stats
-        cache = self._and_cache
-        cached = cache.get((f, g))
-        if cached is not None:
-            if stats is not None:
-                stats.and_hits += 1
-            return cached
-        level = self._level
-        lo_arr = self._lo
-        hi_arr = self._hi
-        unique = self._unique
-        tasks: list[tuple] = [(0, f, g)]
-        push = tasks.append
-        results: list[int] = []
-        rpush = results.append
-        while tasks:
-            frame = tasks.pop()
-            if frame[0] == 0:
-                _, a, b = frame
-                if a == b:
-                    rpush(a)
-                    continue
-                if a == FALSE or b == FALSE:
-                    rpush(FALSE)
-                    continue
-                if a == TRUE:
-                    rpush(b)
-                    continue
-                if b == TRUE:
-                    rpush(a)
-                    continue
-                if a > b:
-                    a, b = b, a
-                key = (a, b)
-                cached = cache.get(key)
-                if cached is not None:
-                    if stats is not None:
-                        stats.and_hits += 1
-                    rpush(cached)
-                    continue
-                if stats is not None:
-                    stats.and_misses += 1
-                la = level[a]
-                lb = level[b]
-                if la < lb:
-                    top = la
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
-                    b0 = b1 = b
-                elif lb < la:
-                    top = lb
-                    a0 = a1 = a
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
-                else:
-                    top = la
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
-                push((1, key, top))
-                push((0, a1, b1))
-                push((0, a0, b0))
-            else:
-                _, key, top = frame
-                hi = results.pop()
-                lo = results[-1]
-                if lo == hi:
-                    node = lo
-                else:
-                    ukey = (top, lo, hi)
-                    node = unique.get(ukey)
-                    if node is None:
-                        node = len(level)
-                        level.append(top)
-                        lo_arr.append(lo)
-                        hi_arr.append(hi)
-                        unique[ukey] = node
-                        if stats is not None:
-                            stats.inserts += 1
-                cache[key] = node
-                results[-1] = node
-        return results[0]
+        self._prep_op()
+        if self._lib is not None:
+            return self._call_native(self._lib.bdd_apply, 0, f, g)
+        return self._py_apply(0, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction ``f | g`` (direct core — no De Morgan detour
@@ -655,89 +946,10 @@ class BDDManager:
             return f
         if f > g:
             f, g = g, f
-        stats = self._stats
-        cache = self._or_cache
-        cached = cache.get((f, g))
-        if cached is not None:
-            if stats is not None:
-                stats.or_hits += 1
-            return cached
-        level = self._level
-        lo_arr = self._lo
-        hi_arr = self._hi
-        unique = self._unique
-        tasks: list[tuple] = [(0, f, g)]
-        push = tasks.append
-        results: list[int] = []
-        rpush = results.append
-        while tasks:
-            frame = tasks.pop()
-            if frame[0] == 0:
-                _, a, b = frame
-                if a == b:
-                    rpush(a)
-                    continue
-                if a == TRUE or b == TRUE:
-                    rpush(TRUE)
-                    continue
-                if a == FALSE:
-                    rpush(b)
-                    continue
-                if b == FALSE:
-                    rpush(a)
-                    continue
-                if a > b:
-                    a, b = b, a
-                key = (a, b)
-                cached = cache.get(key)
-                if cached is not None:
-                    if stats is not None:
-                        stats.or_hits += 1
-                    rpush(cached)
-                    continue
-                if stats is not None:
-                    stats.or_misses += 1
-                la = level[a]
-                lb = level[b]
-                if la < lb:
-                    top = la
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
-                    b0 = b1 = b
-                elif lb < la:
-                    top = lb
-                    a0 = a1 = a
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
-                else:
-                    top = la
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
-                push((1, key, top))
-                push((0, a1, b1))
-                push((0, a0, b0))
-            else:
-                _, key, top = frame
-                hi = results.pop()
-                lo = results[-1]
-                if lo == hi:
-                    node = lo
-                else:
-                    ukey = (top, lo, hi)
-                    node = unique.get(ukey)
-                    if node is None:
-                        node = len(level)
-                        level.append(top)
-                        lo_arr.append(lo)
-                        hi_arr.append(hi)
-                        unique[ukey] = node
-                        if stats is not None:
-                            stats.inserts += 1
-                cache[key] = node
-                results[-1] = node
-        return results[0]
+        self._prep_op()
+        if self._lib is not None:
+            return self._call_native(self._lib.bdd_apply, 1, f, g)
+        return self._py_apply(1, f, g)
 
     def apply_xor(self, f: int, g: int) -> int:
         """Exclusive or ``f ^ g``."""
@@ -753,18 +965,101 @@ class BDDManager:
             return self.negate(f)
         if f > g:
             f, g = g, f
-        stats = self._stats
-        cache = self._xor_cache
-        cached = cache.get((f, g))
-        if cached is not None:
-            if stats is not None:
-                stats.xor_hits += 1
-            return cached
-        level = self._level
-        lo_arr = self._lo
-        hi_arr = self._hi
-        unique = self._unique
-        negate = self.negate
+        self._prep_op()
+        if self._lib is not None:
+            return self._call_native(self._lib.bdd_apply, 2, f, g)
+        return self._py_apply(2, f, g)
+
+    # -- pure-Python fallback cores ------------------------------------
+
+    def _py_negate(self, f: int) -> int:
+        sarr = self._stat_arr
+        ctrl = self._ctrl
+        nk = self._not_k
+        nv = self._not_v
+        nmask = ctrl[_C_NOT_MASK]
+        slot = (f * _M1) & nmask
+        if nk[slot] == f:
+            sarr[_S_NOT_HIT] += 1
+            return nv[slot]
+        la = self._level
+        loa = self._lo
+        ha = self._hi
+        mk = self._mk
+        ev = 0
+        tasks: list[tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            tag, n = tasks.pop()
+            if tag == 0:
+                if n <= 1:
+                    rpush(1 - n)
+                    continue
+                slot = (n * _M1) & nmask
+                if nk[slot] == n:
+                    sarr[_S_NOT_HIT] += 1
+                    rpush(nv[slot])
+                    continue
+                sarr[_S_NOT_MISS] += 1
+                push((1, n))
+                push((0, ha[n]))
+                push((0, loa[n]))
+            else:
+                hi = results.pop()
+                node = mk(la[n], results[-1], hi)
+                slot = (n * _M1) & nmask
+                old = nk[slot]
+                if old == 0:
+                    ctrl[_C_NOT_USED] += 1
+                elif old != n:
+                    sarr[_S_EVICTED] += 1
+                    ev += 1
+                nk[slot] = n
+                nv[slot] = node
+                slot = (node * _M1) & nmask
+                old = nk[slot]
+                if old == 0:
+                    ctrl[_C_NOT_USED] += 1
+                elif old != node:
+                    sarr[_S_EVICTED] += 1
+                    ev += 1
+                nk[slot] = node
+                nv[slot] = n
+                if ev > nmask and nmask + 1 < _OPCACHE_MAX:
+                    self._grow_binary_cache("not")
+                    nk, nv = self._not_k, self._not_v
+                    nmask = ctrl[_C_NOT_MASK]
+                    ev = 0
+                results[-1] = node
+        return results[0]
+
+    def _py_apply(self, op: int, f: int, g: int) -> int:
+        sarr = self._stat_arr
+        ctrl = self._ctrl
+        if op == 0:
+            ck, cv = self._and_k, self._and_v
+            cmask = ctrl[_C_AND_MASK]
+            used_idx, s_hit, s_miss = _C_AND_USED, _S_AND_HIT, _S_AND_MISS
+        elif op == 1:
+            ck, cv = self._or_k, self._or_v
+            cmask = ctrl[_C_OR_MASK]
+            used_idx, s_hit, s_miss = _C_OR_USED, _S_OR_HIT, _S_OR_MISS
+        else:
+            ck, cv = self._xor_k, self._xor_v
+            cmask = ctrl[_C_XOR_MASK]
+            used_idx, s_hit, s_miss = _C_XOR_USED, _S_XOR_HIT, _S_XOR_MISS
+        slot = (f * _M1 + g * _M2) & cmask
+        if ck[slot] == (f << 31) | g:
+            sarr[s_hit] += 1
+            return cv[slot]
+        la = self._level
+        loa = self._lo
+        ha = self._hi
+        mk = self._mk
+        negate = self._py_negate
+        ev = 0
         tasks: list[tuple] = [(0, f, g)]
         push = tasks.append
         results: list[int] = []
@@ -773,50 +1068,75 @@ class BDDManager:
             frame = tasks.pop()
             if frame[0] == 0:
                 _, a, b = frame
-                if a == b:
-                    rpush(FALSE)
-                    continue
-                if a == FALSE:
-                    rpush(b)
-                    continue
-                if b == FALSE:
-                    rpush(a)
-                    continue
-                if a == TRUE:
-                    rpush(negate(b))
-                    continue
-                if b == TRUE:
-                    rpush(negate(a))
-                    continue
+                if op == 0:
+                    if a == b:
+                        rpush(a)
+                        continue
+                    if a == FALSE or b == FALSE:
+                        rpush(FALSE)
+                        continue
+                    if a == TRUE:
+                        rpush(b)
+                        continue
+                    if b == TRUE:
+                        rpush(a)
+                        continue
+                elif op == 1:
+                    if a == b:
+                        rpush(a)
+                        continue
+                    if a == TRUE or b == TRUE:
+                        rpush(TRUE)
+                        continue
+                    if a == FALSE:
+                        rpush(b)
+                        continue
+                    if b == FALSE:
+                        rpush(a)
+                        continue
+                else:
+                    if a == b:
+                        rpush(FALSE)
+                        continue
+                    if a == FALSE:
+                        rpush(b)
+                        continue
+                    if b == FALSE:
+                        rpush(a)
+                        continue
+                    if a == TRUE:
+                        rpush(negate(b))
+                        continue
+                    if b == TRUE:
+                        rpush(negate(a))
+                        continue
                 if a > b:
                     a, b = b, a
-                key = (a, b)
-                cached = cache.get(key)
-                if cached is not None:
-                    if stats is not None:
-                        stats.xor_hits += 1
-                    rpush(cached)
+                key = (a << 31) | b
+                slot = (a * _M1 + b * _M2) & cmask
+                if ck[slot] == key:
+                    sarr[s_hit] += 1
+                    rpush(cv[slot])
                     continue
-                if stats is not None:
-                    stats.xor_misses += 1
-                la = level[a]
-                lb = level[b]
-                if la < lb:
-                    top = la
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
+                sarr[s_miss] += 1
+                la_ = la[a]
+                lb_ = la[b]
+                if la_ < lb_:
+                    top = la_
+                    a0 = loa[a]
+                    a1 = ha[a]
                     b0 = b1 = b
-                elif lb < la:
-                    top = lb
+                elif lb_ < la_:
+                    top = lb_
                     a0 = a1 = a
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
+                    b0 = loa[b]
+                    b1 = ha[b]
                 else:
-                    top = la
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
+                    top = la_
+                    a0 = loa[a]
+                    a1 = ha[a]
+                    b0 = loa[b]
+                    b1 = ha[b]
                 push((1, key, top))
                 push((0, a1, b1))
                 push((0, a0, b0))
@@ -824,22 +1144,132 @@ class BDDManager:
                 _, key, top = frame
                 hi = results.pop()
                 lo = results[-1]
-                if lo == hi:
-                    node = lo
-                else:
-                    ukey = (top, lo, hi)
-                    node = unique.get(ukey)
-                    if node is None:
-                        node = len(level)
-                        level.append(top)
-                        lo_arr.append(lo)
-                        hi_arr.append(hi)
-                        unique[ukey] = node
-                        if stats is not None:
-                            stats.inserts += 1
-                cache[key] = node
+                node = lo if lo == hi else mk(top, lo, hi)
+                slot = ((key >> 31) * _M1 + (key & 0x7FFFFFFF) * _M2) & cmask
+                old = ck[slot]
+                if old == 0:
+                    ctrl[used_idx] += 1
+                elif old != key:
+                    sarr[_S_EVICTED] += 1
+                    ev += 1
+                ck[slot] = key
+                cv[slot] = node
+                if ev > cmask and cmask + 1 < _OPCACHE_MAX:
+                    # Thrash escape: this one call has overwritten more
+                    # entries than the cache holds, so grow in place
+                    # (entries are re-seated) and rebind the probe locals.
+                    self._grow_binary_cache(("and", "or", "xor")[op])
+                    if op == 0:
+                        ck, cv = self._and_k, self._and_v
+                        cmask = ctrl[_C_AND_MASK]
+                    elif op == 1:
+                        ck, cv = self._or_k, self._or_v
+                        cmask = ctrl[_C_OR_MASK]
+                    else:
+                        ck, cv = self._xor_k, self._xor_v
+                        cmask = ctrl[_C_XOR_MASK]
+                    ev = 0
                 results[-1] = node
         return results[0]
+
+    def _py_ite(self, f: int, g: int, h: int) -> int:
+        sarr = self._stat_arr
+        ctrl = self._ctrl
+        ika, ikb, iv = self._ite_ka, self._ite_kb, self._ite_v
+        imask = ctrl[_C_ITE_MASK]
+        slot = (f * _M1 + g * _M2 + h * _M3) & imask
+        if ika[slot] == (f << 31) | g and ikb[slot] == h:
+            sarr[_S_ITE_HIT] += 1
+            return iv[slot]
+        la = self._level
+        loa = self._lo
+        ha = self._hi
+        mk = self._mk
+        negate = self._py_negate
+        ev = 0
+        tasks: list[tuple] = [(0, f, g, h)]
+        push = tasks.append
+        results: list[int] = []
+        rpush = results.append
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == 0:
+                _, a, b, c = frame
+                if a == TRUE:
+                    rpush(b)
+                    continue
+                if a == FALSE:
+                    rpush(c)
+                    continue
+                if b == c:
+                    rpush(b)
+                    continue
+                if b == TRUE and c == FALSE:
+                    rpush(a)
+                    continue
+                if b == FALSE and c == TRUE:
+                    rpush(negate(a))
+                    continue
+                ka = (a << 31) | b
+                slot = (a * _M1 + b * _M2 + c * _M3) & imask
+                if ika[slot] == ka and ikb[slot] == c:
+                    sarr[_S_ITE_HIT] += 1
+                    rpush(iv[slot])
+                    continue
+                sarr[_S_ITE_MISS] += 1
+                lf = la[a]
+                lg = la[b]
+                lh = la[c]
+                top = lf
+                if lg < top:
+                    top = lg
+                if lh < top:
+                    top = lh
+                if lf == top:
+                    f0 = loa[a]
+                    f1 = ha[a]
+                else:
+                    f0 = f1 = a
+                if lg == top:
+                    g0 = loa[b]
+                    g1 = ha[b]
+                else:
+                    g0 = g1 = b
+                if lh == top:
+                    h0 = loa[c]
+                    h1 = ha[c]
+                else:
+                    h0 = h1 = c
+                push((1, ka, c, top))
+                push((0, f1, g1, h1))
+                push((0, f0, g0, h0))
+            else:
+                _, ka, kb, top = frame
+                hi = results.pop()
+                lo = results[-1]
+                node = lo if lo == hi else mk(top, lo, hi)
+                slot = ((ka >> 31) * _M1 + (ka & 0x7FFFFFFF) * _M2
+                        + kb * _M3) & imask
+                old = ika[slot]
+                if old == 0:
+                    ctrl[_C_ITE_USED] += 1
+                elif old != ka or ikb[slot] != kb:
+                    sarr[_S_EVICTED] += 1
+                    ev += 1
+                ika[slot] = ka
+                ikb[slot] = kb
+                iv[slot] = node
+                if ev > imask and imask + 1 < _OPCACHE_MAX:
+                    self._grow_ite_cache()
+                    ika, ikb, iv = self._ite_ka, self._ite_kb, self._ite_v
+                    imask = ctrl[_C_ITE_MASK]
+                    ev = 0
+                results[-1] = node
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Derived connectives
+    # ------------------------------------------------------------------
 
     def apply_xnor(self, f: int, g: int) -> int:
         """Equivalence ``~(f ^ g)``."""
@@ -873,6 +1303,211 @@ class BDDManager:
         return result
 
     # ------------------------------------------------------------------
+    # Quantification-cache plumbing (used by repro.bdd.quantify)
+    # ------------------------------------------------------------------
+
+    def _ensure_quantify_caches(self) -> None:
+        if self._ex_k is None:
+            zeros = bytes(8 * _QCACHE_INIT)
+            self._ex_k = array("q", zeros)
+            self._ex_v = array("q", zeros)
+            self._fa_k = array("q", zeros)
+            self._fa_v = array("q", zeros)
+            self._ae_k1 = array("q", zeros)
+            self._ae_k2 = array("q", zeros)
+            self._ae_v = array("q", zeros)
+            self._ex_mask = self._fa_mask = self._ae_mask = _QCACHE_INIT - 1
+            self._ex_used = self._fa_used = self._ae_used = 0
+
+    def _grow_quantify(self, which: str) -> None:
+        """Double one single-key quantification cache and re-seat every
+        entry (lossless rehash — these caches never evict)."""
+        karr = getattr(self, f"_{which}_k")
+        varr = getattr(self, f"_{which}_v")
+        new_cap = 2 * (getattr(self, f"_{which}_mask") + 1)
+        mask = new_cap - 1
+        new_k = array("q", bytes(8 * new_cap))
+        new_v = array("q", bytes(8 * new_cap))
+        for i, k in enumerate(karr):
+            if k == 0:
+                continue
+            slot = ((k >> 31) * _M1 + (k & 0x7FFFFFFF) * _M2) & mask
+            while new_k[slot] != 0:
+                slot = (slot + 1) & mask
+            new_k[slot] = k
+            new_v[slot] = varr[i]
+        setattr(self, f"_{which}_k", new_k)
+        setattr(self, f"_{which}_v", new_v)
+        setattr(self, f"_{which}_mask", mask)
+
+    def _q_put(self, which: str, key: int, value: int) -> None:
+        """Lossless linear-probe insert into a quantification cache,
+        growing by rehash above 75% load (``key`` packs ``node << 31 |
+        cube_id``; insert only on miss, so existing keys never repeat)."""
+        used = getattr(self, f"_{which}_used")
+        if (used + 1) * 4 > (getattr(self, f"_{which}_mask") + 1) * 3:
+            self._grow_quantify(which)
+        karr = getattr(self, f"_{which}_k")
+        varr = getattr(self, f"_{which}_v")
+        mask = getattr(self, f"_{which}_mask")
+        slot = ((key >> 31) * _M1 + (key & 0x7FFFFFFF) * _M2) & mask
+        while karr[slot] != 0:
+            if karr[slot] == key:
+                varr[slot] = value
+                return
+            slot = (slot + 1) & mask
+        karr[slot] = key
+        varr[slot] = value
+        setattr(self, f"_{which}_used", used + 1)
+
+    def _grow_ae_cache(self) -> None:
+        """Double the two-word-key and_exists cache (lossless rehash)."""
+        karr1, karr2, varr = self._ae_k1, self._ae_k2, self._ae_v
+        new_cap = 2 * (self._ae_mask + 1)
+        mask = new_cap - 1
+        new_k1 = array("q", bytes(8 * new_cap))
+        new_k2 = array("q", bytes(8 * new_cap))
+        new_v = array("q", bytes(8 * new_cap))
+        for i, k in enumerate(karr1):
+            if k == 0:
+                continue
+            slot = ((k >> 31) * _M1 + (k & 0x7FFFFFFF) * _M2
+                    + karr2[i] * _M3) & mask
+            while new_k1[slot] != 0:
+                slot = (slot + 1) & mask
+            new_k1[slot] = k
+            new_k2[slot] = karr2[i]
+            new_v[slot] = varr[i]
+        self._ae_k1, self._ae_k2, self._ae_v = new_k1, new_k2, new_v
+        self._ae_mask = mask
+
+    def _ae_put(self, a: int, b: int, cid: int, value: int) -> None:
+        """Lossless insert into the two-word-key and_exists cache."""
+        if (self._ae_used + 1) * 4 > (self._ae_mask + 1) * 3:
+            self._grow_ae_cache()
+        k1 = (a << 31) | b
+        karr1 = self._ae_k1
+        karr2 = self._ae_k2
+        varr = self._ae_v
+        mask = self._ae_mask
+        used = self._ae_used
+        slot = (a * _M1 + b * _M2 + cid * _M3) & mask
+        while karr1[slot] != 0:
+            if karr1[slot] == k1 and karr2[slot] == cid:
+                varr[slot] = value
+                return
+            slot = (slot + 1) & mask
+        karr1[slot] = k1
+        karr2[slot] = cid
+        varr[slot] = value
+        self._ae_used = used + 1
+
+    def _native_quantify(self, op: int, f: int, cube: "VarCube") -> int:
+        """Run exists (op 0) / forall (op 1) in the C kernel with the
+        grow-and-restart protocol extended to the quantify cache
+        (code -4): the cache is lossless, so a restart after any growth
+        replays cached sub-results and node numbering is unchanged."""
+        which = "ex" if op == 0 else "fa"
+        self._prep_op()
+        ffi = self._ffi
+        lib = self._lib
+        meta = array("q", (0,))
+        levels = cube.levels
+        while True:
+            bufs = self._bufs
+            if bufs is None:
+                bufs = self._make_bufs()
+            meta[0] = getattr(self, f"_{which}_used")
+            keep = (
+                ffi.from_buffer(levels),
+                ffi.from_buffer(getattr(self, f"_{which}_k")),
+                ffi.from_buffer(getattr(self, f"_{which}_v")),
+                ffi.from_buffer(meta),
+            )
+            result = lib.bdd_quantify(
+                op, f, cube.cube_id,
+                ffi.cast("int64_t *", keep[0]), len(levels),
+                cube.max_level,
+                ffi.cast("int64_t *", keep[1]),
+                ffi.cast("int64_t *", keep[2]),
+                getattr(self, f"_{which}_mask"),
+                ffi.cast("int64_t *", keep[3]),
+                *bufs,
+            )
+            setattr(self, f"_{which}_used", meta[0])
+            del keep
+            if result >= 0:
+                return result
+            if result == -1:
+                self._grow_nodes()
+            elif result == -2:
+                self._grow_unique()
+            elif result == -4:
+                self._grow_quantify(which)
+            elif result <= -6:
+                self._grow_op_cache(-result - 6)
+            else:
+                raise MemoryError("native BDD kernel allocation failed")
+
+    def _native_and_exists(self, f: int, g: int, cube: "VarCube") -> int:
+        """Fused ∃cube.(f & g) in the C kernel (growth codes: -4 grows
+        the exists cache it recurses into, -5 the and_exists cache)."""
+        self._prep_op()
+        ffi = self._ffi
+        lib = self._lib
+        ex_meta = array("q", (0,))
+        ae_meta = array("q", (0,))
+        levels = cube.levels
+        while True:
+            bufs = self._bufs
+            if bufs is None:
+                bufs = self._make_bufs()
+            ex_meta[0] = self._ex_used
+            ae_meta[0] = self._ae_used
+            keep = (
+                ffi.from_buffer(levels),
+                ffi.from_buffer(self._ex_k),
+                ffi.from_buffer(self._ex_v),
+                ffi.from_buffer(ex_meta),
+                ffi.from_buffer(self._ae_k1),
+                ffi.from_buffer(self._ae_k2),
+                ffi.from_buffer(self._ae_v),
+                ffi.from_buffer(ae_meta),
+            )
+            result = lib.bdd_and_exists(
+                f, g, cube.cube_id,
+                ffi.cast("int64_t *", keep[0]), len(levels),
+                cube.max_level,
+                ffi.cast("int64_t *", keep[1]),
+                ffi.cast("int64_t *", keep[2]),
+                self._ex_mask,
+                ffi.cast("int64_t *", keep[3]),
+                ffi.cast("int64_t *", keep[4]),
+                ffi.cast("int64_t *", keep[5]),
+                ffi.cast("int64_t *", keep[6]),
+                self._ae_mask,
+                ffi.cast("int64_t *", keep[7]),
+                *bufs,
+            )
+            self._ex_used = ex_meta[0]
+            self._ae_used = ae_meta[0]
+            del keep
+            if result >= 0:
+                return result
+            if result == -1:
+                self._grow_nodes()
+            elif result == -2:
+                self._grow_unique()
+            elif result == -4:
+                self._grow_quantify("ex")
+            elif result == -5:
+                self._grow_ae_cache()
+            elif result <= -6:
+                self._grow_op_cache(-result - 6)
+            else:
+                raise MemoryError("native BDD kernel allocation failed")
+
+    # ------------------------------------------------------------------
     # Cofactors and evaluation
     # ------------------------------------------------------------------
 
@@ -884,11 +1519,10 @@ class BDDManager:
         """Simultaneous cofactor by a partial assignment ``{var: value}``."""
         if not assignment or f <= 1:
             return f
-        stats = self._stats
         level = self._level
         lo_arr = self._lo
         hi_arr = self._hi
-        unique = self._unique
+        mk = self._mk
         max_level = max(assignment)
         memo: dict[int, int] = {}
         # Tags: 0 expand, 1 rebuild from two children, 2 forward the
@@ -918,19 +1552,7 @@ class BDDManager:
             elif tag == 1:
                 hi = results.pop()
                 lo = results[-1]
-                if lo == hi:
-                    node = lo
-                else:
-                    ukey = (level[n], lo, hi)
-                    node = unique.get(ukey)
-                    if node is None:
-                        node = len(level)
-                        level.append(level[n])
-                        lo_arr.append(lo)
-                        hi_arr.append(hi)
-                        unique[ukey] = node
-                        if stats is not None:
-                            stats.inserts += 1
+                node = lo if lo == hi else mk(level[n], lo, hi)
                 memo[n] = node
                 results[-1] = node
             else:
@@ -979,39 +1601,54 @@ class BDDManager:
         table are kept — the latter is bounded by the number of distinct
         variable sets ever quantified).
 
-        Useful between phases of a long-running computation to bound
-        memory; correctness is unaffected.  Returns the number of evicted
-        cache entries and, on instrumented managers, emits a
-        ``bdd.clear_caches`` obs event so mid-run evictions are visible
-        in reports.
+        The array-backed caches are released wholesale and reallocated
+        lazily at their initial size, so no stale probe chain can ever
+        survive a clear.  Useful between phases of a long-running
+        computation to bound memory; correctness is unaffected.  Returns
+        the number of evicted cache entries and, on instrumented
+        managers, emits a ``bdd.clear_caches`` obs event so mid-run
+        evictions are visible in reports.
         """
-        caches = (
-            self._ite_cache,
-            self._and_cache,
-            self._or_cache,
-            self._xor_cache,
-            self._not_cache,
-            self._exists_cache,
-            self._forall_cache,
-            self._and_exists_cache,
+        ctrl = self._ctrl
+        evicted = (
+            ctrl[_C_ITE_USED]
+            + ctrl[_C_AND_USED]
+            + ctrl[_C_OR_USED]
+            + ctrl[_C_XOR_USED]
+            + ctrl[_C_NOT_USED]
+            + self._ex_used
+            + self._fa_used
+            + self._ae_used
         )
-        evicted = sum(len(cache) for cache in caches)
-        for cache in caches:
-            cache.clear()
+        self._and_k = self._and_v = None
+        self._or_k = self._or_v = None
+        self._xor_k = self._xor_v = None
+        self._not_k = self._not_v = None
+        self._ite_ka = self._ite_kb = self._ite_v = None
+        for index in (_C_AND_MASK, _C_OR_MASK, _C_XOR_MASK, _C_NOT_MASK,
+                      _C_ITE_MASK, _C_AND_USED, _C_OR_USED, _C_XOR_USED,
+                      _C_NOT_USED, _C_ITE_USED):
+            ctrl[index] = 0
+        self._ex_k = self._ex_v = None
+        self._fa_k = self._fa_v = None
+        self._ae_k1 = self._ae_k2 = self._ae_v = None
+        self._ex_mask = self._fa_mask = self._ae_mask = 0
+        self._ex_used = self._fa_used = self._ae_used = 0
+        self._drop_bufs()
+        self._stat_arr[_S_CLEARS] += 1
+        self._stat_arr[_S_EVICTED] += evicted
         if self._stats is not None:
-            self._stats.cache_clears += 1
-            self._stats.cache_evicted += evicted
             _obs.event(
                 "bdd.clear_caches",
                 evicted=evicted,
-                unique=len(self._unique),
+                unique=ctrl[_C_UNIQ_USED],
             )
         return evicted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<BDDManager vars={self.num_vars} nodes={self.num_nodes} "
-            f"unique={len(self._unique)}>"
+            f"unique={self.unique_size} native={self.native}>"
         )
 
 

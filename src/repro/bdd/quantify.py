@@ -5,11 +5,13 @@ Implements existential and universal abstraction plus the fused
 conjoining and quantifying in one pass avoids building the full
 intermediate conjunction.
 
-Results are cached *persistently* on the manager, keyed by
-``(node, cube_id)`` over interned :class:`~repro.bdd.manager.VarCube`
-objects — repeated ``∃x f`` / ``∀x f`` over the same variable set (the
-``ITE(c_x, f, ∀x f)`` parameterization loops, image iterations) hit the
-cache instead of re-walking.  The caches are dropped by
+Results are cached *persistently* on the manager in lossless
+open-addressed array tables (they grow by rehash, never evict), keyed by
+``node << 31 | cube_id`` over interned
+:class:`~repro.bdd.manager.VarCube` objects — repeated ``∃x f`` /
+``∀x f`` over the same variable set (the ``ITE(c_x, f, ∀x f)``
+parameterization loops, image iterations) hit the cache instead of
+re-walking.  The caches are dropped by
 :meth:`BDDManager.clear_caches` and surfaced through
 ``ManagerStats``/``cache_sizes``.  Like the manager's operator cores,
 the walks are iterative (explicit stacks), so deep chain-shaped BDDs do
@@ -20,7 +22,21 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.bdd.manager import BDDManager, FALSE, TRUE, VarCube
+from repro.bdd.manager import (
+    BDDManager,
+    FALSE,
+    TRUE,
+    VarCube,
+    _M1,
+    _M2,
+    _M3,
+    _S_AE_HIT,
+    _S_AE_MISS,
+    _S_EX_HIT,
+    _S_EX_MISS,
+    _S_FA_HIT,
+    _S_FA_MISS,
+)
 
 
 def exists(
@@ -35,17 +51,38 @@ def exists(
     if f <= 1 or manager._level[f] > max_level:
         return f
     cid = cube.cube_id
-    stats = manager._stats
-    cache = manager._exists_cache
-    cached = cache.get((f, cid))
-    if cached is not None:
-        if stats is not None:
-            stats.exists_hits += 1
-        return cached
+    manager._ensure_quantify_caches()
+    sarr = manager._stat_arr
+    qk = manager._ex_k
+    qv = manager._ex_v
+    qmask = manager._ex_mask
+
+    # Entry probe in Python even when the C kernel is available: a warm
+    # repeat then costs one probe chain, not an FFI round trip.
+    fkey = (f << 31) | cid
+    slot = (f * _M1 + cid * _M2) & qmask
+    while True:
+        k = qk[slot]
+        if k == 0:
+            break
+        if k == fkey:
+            sarr[_S_EX_HIT] += 1
+            return qv[slot]
+        slot = (slot + 1) & qmask
+    if manager._lib is not None:
+        return manager._native_quantify(0, f, cube)
+
+    def put(key: int, value: int) -> None:
+        # Growth swaps the arrays; rebind the probe locals afterwards.
+        nonlocal qk, qv, qmask
+        manager._q_put("ex", key, value)
+        qk = manager._ex_k
+        qv = manager._ex_v
+        qmask = manager._ex_mask
     level = manager._level
     lo_arr = manager._lo
     hi_arr = manager._hi
-    unique = manager._unique
+    mk = manager._mk
     apply_or = manager.apply_or
     # Tags: 0 expand; 1 rebuild an unquantified level; 2 lo-cofactor of a
     # quantified level done (early-exit on TRUE, else expand hi); 3 both
@@ -62,53 +99,49 @@ def exists(
             if n <= 1 or level[n] > max_level:
                 rpush(n)
                 continue
-            cached = cache.get((n, cid))
-            if cached is not None:
-                if stats is not None:
-                    stats.exists_hits += 1
+            nkey = (n << 31) | cid
+            slot = (n * _M1 + cid * _M2) & qmask
+            cached = -1
+            while True:
+                k = qk[slot]
+                if k == 0:
+                    break
+                if k == nkey:
+                    cached = qv[slot]
+                    break
+                slot = (slot + 1) & qmask
+            if cached >= 0:
+                sarr[_S_EX_HIT] += 1
                 rpush(cached)
                 continue
-            if stats is not None:
-                stats.exists_misses += 1
+            sarr[_S_EX_MISS] += 1
             lvl = level[n]
             if lvl in var_set:
-                push((2, n, hi_arr[n]))
+                push((2, nkey, hi_arr[n]))
                 push((0, lo_arr[n]))
             else:
-                push((1, n, lvl))
+                push((1, nkey, lvl))
                 push((0, hi_arr[n]))
                 push((0, lo_arr[n]))
         elif tag == 1:
-            _, n, lvl = frame
+            _, nkey, lvl = frame
             hi = results.pop()
             lo = results[-1]
-            if lo == hi:
-                node = lo
-            else:
-                ukey = (lvl, lo, hi)
-                node = unique.get(ukey)
-                if node is None:
-                    node = len(level)
-                    level.append(lvl)
-                    lo_arr.append(lo)
-                    hi_arr.append(hi)
-                    unique[ukey] = node
-                    if stats is not None:
-                        stats.inserts += 1
-            cache[(n, cid)] = node
+            node = lo if lo == hi else mk(lvl, lo, hi)
+            put(nkey, node)
             results[-1] = node
         elif tag == 2:
-            _, n, hi_child = frame
+            _, nkey, hi_child = frame
             if results[-1] == TRUE:
-                cache[(n, cid)] = TRUE
+                put(nkey, TRUE)
                 continue
-            push((3, n))
+            push((3, nkey))
             push((0, hi_child))
         else:
-            n = frame[1]
+            nkey = frame[1]
             hi = results.pop()
             node = apply_or(results[-1], hi)
-            cache[(n, cid)] = node
+            put(nkey, node)
             results[-1] = node
     return results[0]
 
@@ -125,17 +158,35 @@ def forall(
     if f <= 1 or manager._level[f] > max_level:
         return f
     cid = cube.cube_id
-    stats = manager._stats
-    cache = manager._forall_cache
-    cached = cache.get((f, cid))
-    if cached is not None:
-        if stats is not None:
-            stats.forall_hits += 1
-        return cached
+    manager._ensure_quantify_caches()
+    sarr = manager._stat_arr
+    qk = manager._fa_k
+    qv = manager._fa_v
+    qmask = manager._fa_mask
+
+    fkey = (f << 31) | cid
+    slot = (f * _M1 + cid * _M2) & qmask
+    while True:
+        k = qk[slot]
+        if k == 0:
+            break
+        if k == fkey:
+            sarr[_S_FA_HIT] += 1
+            return qv[slot]
+        slot = (slot + 1) & qmask
+    if manager._lib is not None:
+        return manager._native_quantify(1, f, cube)
+
+    def put(key: int, value: int) -> None:
+        nonlocal qk, qv, qmask
+        manager._q_put("fa", key, value)
+        qk = manager._fa_k
+        qv = manager._fa_v
+        qmask = manager._fa_mask
     level = manager._level
     lo_arr = manager._lo
     hi_arr = manager._hi
-    unique = manager._unique
+    mk = manager._mk
     apply_and = manager.apply_and
     tasks: list[tuple] = [(0, f)]
     push = tasks.append
@@ -149,53 +200,49 @@ def forall(
             if n <= 1 or level[n] > max_level:
                 rpush(n)
                 continue
-            cached = cache.get((n, cid))
-            if cached is not None:
-                if stats is not None:
-                    stats.forall_hits += 1
+            nkey = (n << 31) | cid
+            slot = (n * _M1 + cid * _M2) & qmask
+            cached = -1
+            while True:
+                k = qk[slot]
+                if k == 0:
+                    break
+                if k == nkey:
+                    cached = qv[slot]
+                    break
+                slot = (slot + 1) & qmask
+            if cached >= 0:
+                sarr[_S_FA_HIT] += 1
                 rpush(cached)
                 continue
-            if stats is not None:
-                stats.forall_misses += 1
+            sarr[_S_FA_MISS] += 1
             lvl = level[n]
             if lvl in var_set:
-                push((2, n, hi_arr[n]))
+                push((2, nkey, hi_arr[n]))
                 push((0, lo_arr[n]))
             else:
-                push((1, n, lvl))
+                push((1, nkey, lvl))
                 push((0, hi_arr[n]))
                 push((0, lo_arr[n]))
         elif tag == 1:
-            _, n, lvl = frame
+            _, nkey, lvl = frame
             hi = results.pop()
             lo = results[-1]
-            if lo == hi:
-                node = lo
-            else:
-                ukey = (lvl, lo, hi)
-                node = unique.get(ukey)
-                if node is None:
-                    node = len(level)
-                    level.append(lvl)
-                    lo_arr.append(lo)
-                    hi_arr.append(hi)
-                    unique[ukey] = node
-                    if stats is not None:
-                        stats.inserts += 1
-            cache[(n, cid)] = node
+            node = lo if lo == hi else mk(lvl, lo, hi)
+            put(nkey, node)
             results[-1] = node
         elif tag == 2:
-            _, n, hi_child = frame
+            _, nkey, hi_child = frame
             if results[-1] == FALSE:
-                cache[(n, cid)] = FALSE
+                put(nkey, FALSE)
                 continue
-            push((3, n))
+            push((3, nkey))
             push((0, hi_child))
         else:
-            n = frame[1]
+            nkey = frame[1]
             hi = results.pop()
             node = apply_and(results[-1], hi)
-            cache[(n, cid)] = node
+            put(nkey, node)
             results[-1] = node
     return results[0]
 
@@ -215,12 +262,27 @@ def and_exists(
         return manager.apply_and(f, g)
     max_level = cube.max_level
     cid = cube.cube_id
-    stats = manager._stats
-    cache = manager._and_exists_cache
+    manager._ensure_quantify_caches()
+    if manager._lib is not None:
+        return manager._native_and_exists(f, g, cube)
+    sarr = manager._stat_arr
+    qk1 = manager._ae_k1
+    qk2 = manager._ae_k2
+    qv = manager._ae_v
+    qmask = manager._ae_mask
+
+    def put(a: int, b: int, value: int) -> None:
+        nonlocal qk1, qk2, qv, qmask
+        manager._ae_put(a, b, cid, value)
+        qk1 = manager._ae_k1
+        qk2 = manager._ae_k2
+        qv = manager._ae_v
+        qmask = manager._ae_mask
+
     level = manager._level
     lo_arr = manager._lo
     hi_arr = manager._hi
-    unique = manager._unique
+    mk = manager._mk
     apply_or = manager.apply_or
     apply_and = manager.apply_and
     # Tags: 0 expand a (a, b) product; 1 rebuild an unquantified level;
@@ -254,15 +316,22 @@ def and_exists(
             if a > b:
                 a, b = b, a
                 la, lb = lb, la
-            key = (a, b, cid)
-            cached = cache.get(key)
-            if cached is not None:
-                if stats is not None:
-                    stats.and_exists_hits += 1
+            key1 = (a << 31) | b
+            slot = (a * _M1 + b * _M2 + cid * _M3) & qmask
+            cached = -1
+            while True:
+                k = qk1[slot]
+                if k == 0:
+                    break
+                if k == key1 and qk2[slot] == cid:
+                    cached = qv[slot]
+                    break
+                slot = (slot + 1) & qmask
+            if cached >= 0:
+                sarr[_S_AE_HIT] += 1
                 rpush(cached)
                 continue
-            if stats is not None:
-                stats.and_exists_misses += 1
+            sarr[_S_AE_MISS] += 1
             if la < lb:
                 top = la
                 a0 = lo_arr[a]
@@ -280,43 +349,31 @@ def and_exists(
                 b0 = lo_arr[b]
                 b1 = hi_arr[b]
             if top in var_set:
-                push((2, key, a1, b1))
+                push((2, a, b, a1, b1))
                 push((0, a0, b0))
             else:
-                push((1, key, top))
+                push((1, a, b, top))
                 push((0, a1, b1))
                 push((0, a0, b0))
         elif tag == 1:
-            _, key, top = frame
+            _, a, b, top = frame
             hi = results.pop()
             lo = results[-1]
-            if lo == hi:
-                node = lo
-            else:
-                ukey = (top, lo, hi)
-                node = unique.get(ukey)
-                if node is None:
-                    node = len(level)
-                    level.append(top)
-                    lo_arr.append(lo)
-                    hi_arr.append(hi)
-                    unique[ukey] = node
-                    if stats is not None:
-                        stats.inserts += 1
-            cache[key] = node
+            node = lo if lo == hi else mk(top, lo, hi)
+            put(a, b, node)
             results[-1] = node
         elif tag == 2:
-            _, key, a1, b1 = frame
+            _, a, b, a1, b1 = frame
             if results[-1] == TRUE:
-                cache[key] = TRUE
+                put(a, b, TRUE)
                 continue
-            push((3, key))
+            push((3, a, b))
             push((0, a1, b1))
         else:
-            key = frame[1]
+            _, a, b = frame
             hi = results.pop()
             node = apply_or(results[-1], hi)
-            cache[key] = node
+            put(a, b, node)
             results[-1] = node
     return results[0]
 

@@ -7,17 +7,22 @@ a good order: greedy window permutation and a sifting-style hill climb,
 both measuring shared dag size of the function set under candidate
 orders.
 
-This is deliberately offline reordering (the paper's computations choose
-their interleavings up front, e.g. ``c1_i, c2_i, x_i`` in
-:mod:`repro.bidec.symbolic`); dynamic in-place reordering is out of scope
-for a pure-Python engine.
+Reordering runs offline — at *safe points* between operator calls, never
+inside one (the paper's computations choose their interleavings up
+front, e.g. ``c1_i, c2_i, x_i`` in :mod:`repro.bidec.symbolic`).  The
+engine triggers it automatically through the manager's growth trigger
+(:meth:`BDDManager.reorder_due`, the ``--auto-reorder`` knob): pass
+boundaries and reachability-iteration boundaries poll the trigger and
+call :func:`reorder` / a compacting rebuild when the node count has
+outgrown the threshold.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.bdd.compose import transfer
+from repro import obs as _obs
+from repro.bdd.compose import transfer_multi
 from repro.bdd.count import dag_size_multi
 from repro.bdd.manager import BDDManager
 
@@ -27,9 +32,9 @@ def order_cost(
 ) -> int:
     """Shared dag size of ``roots`` when rebuilt under ``order`` (a
     permutation of the variables: ``order[level] = old variable``)."""
-    target = BDDManager(manager.num_vars)
+    target = BDDManager(manager.num_vars, native=manager.native)
     var_map = {old: level for level, old in enumerate(order)}
-    moved = [transfer(manager, root, target, var_map) for root in roots]
+    moved = transfer_multi(manager, roots, target, var_map)
     return dag_size_multi(target, moved)
 
 
@@ -37,37 +42,76 @@ def sift_order(
     manager: BDDManager,
     roots: Sequence[int],
     max_rounds: int = 2,
+    max_vars: int = 24,
 ) -> list[int]:
     """Sifting: move each variable through every position, keep the best.
 
     Returns the best order found (``order[level] = variable``).  Cost is
     evaluated by rebuilding, so this is O(n^2) transfers — fine for the
     few dozen variables of a collapsed cone, not for whole designs.
+    Identical candidate orders recur across positions and rounds (the
+    hill climb revisits its own steps), so costs are memoized per order.
+
+    Managers wider than ``max_vars`` skip the hill climb and keep the
+    identity order: the quadratic rebuild cost model would dominate the
+    very growth it is meant to curb, and the caller's rebuild under the
+    unchanged order still compacts dead nodes — the bulk of the win for
+    a whole transition system.
     """
     n = manager.num_vars
     order = list(range(n))
-    best_cost = order_cost(manager, roots, order)
-    for _ in range(max_rounds):
-        improved = False
-        for variable in range(n):
-            position = order.index(variable)
-            best_position = position
-            for candidate in range(n):
-                if candidate == position:
-                    continue
-                trial = list(order)
-                trial.pop(position)
-                trial.insert(candidate, variable)
-                cost = order_cost(manager, roots, trial)
-                if cost < best_cost:
-                    best_cost = cost
-                    best_position = candidate
-            if best_position != position:
-                order.pop(position)
-                order.insert(best_position, variable)
-                improved = True
-        if not improved:
-            break
+    if n > max_vars:
+        size = dag_size_multi(manager, list(roots))
+        _obs.event(
+            "bdd.reorder",
+            vars=n,
+            roots=len(roots),
+            size_before=size,
+            size_after=size,
+            orders_tried=0,
+        )
+        return order
+    memo: dict[tuple[int, ...], int] = {}
+
+    def cost_of(candidate: list[int]) -> int:
+        key = tuple(candidate)
+        cached = memo.get(key)
+        if cached is None:
+            cached = memo[key] = order_cost(manager, roots, candidate)
+        return cached
+
+    best_cost = cost_of(order)
+    before = best_cost
+    with _obs.span("bdd.reorder.sift"):
+        for _ in range(max_rounds):
+            improved = False
+            for variable in range(n):
+                position = order.index(variable)
+                best_position = position
+                for candidate in range(n):
+                    if candidate == position:
+                        continue
+                    trial = list(order)
+                    trial.pop(position)
+                    trial.insert(candidate, variable)
+                    cost = cost_of(trial)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_position = candidate
+                if best_position != position:
+                    order.pop(position)
+                    order.insert(best_position, variable)
+                    improved = True
+            if not improved:
+                break
+    _obs.event(
+        "bdd.reorder",
+        vars=n,
+        roots=len(roots),
+        size_before=before,
+        size_after=best_cost,
+        orders_tried=len(memo),
+    )
     return order
 
 
@@ -78,12 +122,17 @@ def reorder(
     order found.
 
     Returns ``(new_manager, new_roots, var_map)`` where ``var_map`` maps
-    old variable indices to new ones.  Variable names are carried over.
+    old variable indices to new ones.  Variable names and the manager's
+    kernel/auto-reorder configuration are carried over.
     """
     order = sift_order(manager, roots, max_rounds)
-    target = BDDManager()
+    target = BDDManager(
+        native=manager.native,
+        auto_reorder_threshold=manager.auto_reorder_threshold,
+    )
     var_map = {old: level for level, old in enumerate(order)}
     for old in order:
         target.new_var(manager.var_name(old))
-    moved = [transfer(manager, root, target, var_map) for root in roots]
+    moved = transfer_multi(manager, roots, target, var_map)
+    target.mark_reordered()
     return target, moved, var_map

@@ -369,6 +369,8 @@ def _synthesis_options(args: argparse.Namespace):
         node_budget=args.node_budget,
         parallel_workers=args.workers,
         worker_timeout=args.worker_timeout,
+        auto_reorder=args.auto_reorder,
+        reorder_threshold=args.reorder_threshold,
     )
 
 
@@ -1110,6 +1112,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="per-cone wall-clock limit in parallel "
                                   "mode; a cone whose worker exceeds it "
                                   "degrades to a structural copy")
+        command.add_argument("--auto-reorder", action="store_true",
+                             help="dynamically reorder/compact BDD managers "
+                                  "at safe points once they grow past "
+                                  "--reorder-threshold nodes (output is "
+                                  "bit-identical either way)")
+        command.add_argument("--reorder-threshold", type=int, default=50000,
+                             help="node growth since the last rebuild that "
+                                  "triggers --auto-reorder")
 
     p = sub.add_parser("optimize", help="run the Algorithm 1 pipeline")
     p.add_argument("file")

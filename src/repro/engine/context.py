@@ -69,6 +69,17 @@ class SynthesisOptions:
     #: unlimited).  A cone whose worker exceeds it degrades to a
     #: structural copy instead of stalling the run.
     worker_timeout: Optional[float] = None
+    #: Automatic dynamic reordering (the ``--auto-reorder`` knob).  At
+    #: safe points — pass boundaries, per-sink boundaries, reachability
+    #: iterations — managers whose node count grew past
+    #: ``reorder_threshold`` since their last rebuild are shrunk:
+    #: traversal managers are re-sifted (``sift_order`` + ``transfer``),
+    #: the long-lived collapser manager gets an order-preserving
+    #: compaction.  Synthesis output is bit-identical either way.
+    auto_reorder: bool = False
+    #: Node-growth trigger for auto-reorder (nodes created since the
+    #: last rebuild of the same manager).
+    reorder_threshold: int = 50000
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly view (tuples become lists)."""
@@ -183,9 +194,51 @@ class SynthesisContext:
             from repro.bdd.manager import BDDManager
             from repro.network.bdd_build import ConeCollapser
 
-            manager = self.governor.attach_manager(BDDManager())
+            threshold = (
+                self.options.reorder_threshold
+                if self.options.auto_reorder
+                else None
+            )
+            manager = self.governor.attach_manager(
+                BDDManager(auto_reorder_threshold=threshold)
+            )
             self.collapser = ConeCollapser(self.source, manager)
         return self.collapser
+
+    def maybe_compact_bdds(self) -> bool:
+        """Auto-reorder safe-point hook: when ``--auto-reorder`` is on and
+        the collapser manager's growth trigger has fired, rebuild it
+        keeping only live nodes and remap every outstanding handle (the
+        sharing table).  Returns True when a compaction ran.
+
+        The collapser manager is deliberately *compacted* (same variable
+        order) rather than sifted: bi-decomposition partition enumeration
+        is keyed on variable indices, so only an order-preserving rebuild
+        keeps synthesis output bit-identical.  Genuine sifting happens in
+        the reachability managers (see repro.reach.traversal), where
+        results are transferred out by name.
+        """
+        if not self.options.auto_reorder or self.collapser is None:
+            return False
+        manager = self.collapser.manager
+        if not manager.reorder_due():
+            return False
+        from repro import obs as _obs
+
+        nodes_before = manager.num_nodes
+        node_map = self.collapser.compact(extra_roots=self.share_table)
+        self.share_table = {
+            node_map[node]: signal
+            for node, signal in self.share_table.items()
+        }
+        self.governor.detach_manager(manager)
+        self.governor.attach_manager(self.collapser.manager)
+        _obs.event(
+            "bdd.compact",
+            nodes_before=nodes_before,
+            nodes_after=self.collapser.manager.num_nodes,
+        )
+        return True
 
     def ensure_rebuilt(self) -> Network:
         """The output network seeded with ``source``'s interface."""

@@ -54,6 +54,15 @@ class ResourceGovernor:
             self._managers.append(manager)
         return manager
 
+    def detach_manager(self, manager: Any) -> None:
+        """Unregister a manager (it is being replaced by a compacted or
+        reordered rebuild).  Its node count is folded into the external
+        tally so allocation accounting stays cumulative — a rebuild frees
+        memory, it does not refund the node budget."""
+        if manager in self._managers:
+            self._managers.remove(manager)
+            self._external_nodes += manager.num_nodes
+
     def elapsed(self) -> float:
         """Seconds since the governor was created."""
         return time.perf_counter() - self._start

@@ -138,6 +138,8 @@ class DontCarePass(_BasePass):
                 max_partition_size=self.opt(context, "max_partition_size"),
                 time_budget=self.opt(context, "reach_time_budget"),
                 governor=context.governor,
+                auto_reorder=self.opt(context, "auto_reorder"),
+                reorder_threshold=self.opt(context, "reorder_threshold"),
             )
         elif dc_source == "induction":
             from repro.reach.induction import InductiveInvariant
@@ -168,6 +170,10 @@ class DecomposePass(_BasePass):
         use_sharing = self.opt(context, "enable_sharing") or sharing_choice
 
         for sink in source.combinational_sinks():
+            # Per-sink safe point for --auto-reorder: between sinks the
+            # only live collapser-manager handles are the cone cache and
+            # the sharing table, both remapped by the compaction.
+            context.maybe_compact_bdds()
             if sink in source.inputs or sink in source.latches:
                 context.signal_map[sink] = sink
                 continue

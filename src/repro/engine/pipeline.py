@@ -146,6 +146,9 @@ class Pipeline:
             elapsed = time.perf_counter() - began
             context.mid_pass_checkpoint = None
             context.pass_log.append({"pass": pass_.name, "elapsed": elapsed})
+            # Auto-reorder safe point: between passes no pass-local node
+            # handles are live, so the collapser manager may be rebuilt.
+            context.maybe_compact_bdds()
             # Pass-boundary budget check: latch exhaustion now so every
             # remaining pass sees a consistent verdict.
             exhausted = governor.out_of_budget()

@@ -124,6 +124,40 @@ class ConeCollapser:
         """Collapse several signals at once (shared subcones are reused)."""
         return {signal: self.node_function(signal) for signal in signals}
 
+    def compact(self, extra_roots: Iterable[int] = ()) -> dict[int, int]:
+        """Rebuild the manager keeping only live nodes (cached signal
+        functions plus ``extra_roots``), dropping everything dead.
+
+        The variable order and names are preserved exactly, so rebuilt
+        functions are semantically identical; only node *handles* change.
+        Returns the old-node -> new-node map so holders of outstanding
+        handles (share tables, context caches) can remap themselves.
+        This is the safe-point shrink the engine's ``--auto-reorder``
+        hook applies to the long-lived collapser manager — order-neutral
+        on synthesis output, unlike genuine sifting, because variable
+        indices (which partition enumeration orders depend on) never
+        move.
+        """
+        from repro.bdd.compose import transfer_multi
+
+        old = self.manager
+        target = BDDManager(
+            native=old.native,
+            auto_reorder_threshold=old.auto_reorder_threshold,
+        )
+        for name in self._var_of:
+            target.new_var(name)
+        roots = list(self._cache.values())
+        roots.extend(extra_roots)
+        node_map: dict[int, int] = {}
+        transfer_multi(old, roots, target, node_map=node_map)
+        self._cache = {
+            signal: node_map[node] for signal, node in self._cache.items()
+        }
+        self.manager = target
+        target.mark_reordered()
+        return node_map
+
     def invalidate(self, signals: Iterable[str]) -> None:
         """Drop cached functions for signals (and their transitive
         fanouts) after a network edit."""

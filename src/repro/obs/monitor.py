@@ -146,7 +146,8 @@ class RuntimeMonitor:
         managers the registry tracks, plus per-manager rows."""
         managers = self._registry.live_bdd_managers()
         totals = {"managers": len(managers), "nodes": 0, "unique": 0,
-                  "cache_entries": 0}
+                  "cache_entries": 0, "unique_capacity": 0,
+                  "cache_capacity": 0}
         rows: list[dict[str, int]] = []
         for manager in managers:
             try:
@@ -156,7 +157,13 @@ class RuntimeMonitor:
             totals["nodes"] += row["nodes"]
             totals["unique"] += row["unique"]
             totals["cache_entries"] += row["cache_entries"]
+            totals["unique_capacity"] += row.get("unique_capacity", 0)
+            totals["cache_capacity"] += row.get("cache_capacity", 0)
             rows.append(row)
+        if totals["unique_capacity"]:
+            totals["unique_load"] = round(
+                totals["unique"] / totals["unique_capacity"], 4
+            )
         totals["per_manager"] = rows
         return totals
 

@@ -320,6 +320,8 @@ class Registry:
         live_nodes = 0
         live_unique = 0
         live_cache = 0
+        load_sum = 0.0
+        load_managers = 0
         for manager in live:
             stats = manager.stats
             if stats is None:
@@ -329,6 +331,10 @@ class Registry:
             live_nodes += manager.num_nodes
             live_unique += manager.unique_size
             live_cache += sum(manager.cache_sizes().values())
+            load = getattr(manager, "unique_load_factor", None)
+            if load is not None:
+                load_sum += load()
+                load_managers += 1
             if manager.num_nodes > peak:
                 peak = manager.num_nodes
         counters = {f"bdd.{key}": value for key, value in sorted(totals.items())}
@@ -340,6 +346,8 @@ class Registry:
             "bdd.unique.live": live_unique,
             "bdd.cache.entries.live": live_cache,
         }
+        if load_managers:
+            gauges["bdd.unique.load"] = round(load_sum / load_managers, 4)
         if total_managers == 0:
             return {}, {}
         return counters, gauges

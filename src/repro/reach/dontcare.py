@@ -39,6 +39,8 @@ class DontCareManager:
         time_budget: Optional[float] = None,
         strategy: str = "early",
         governor=None,
+        auto_reorder: bool = False,
+        reorder_threshold: int = 50000,
     ) -> None:
         self.network = network
         self.partitions = list(
@@ -56,6 +58,13 @@ class DontCareManager:
         #: partitions whose traversal has not started by the time the
         #: budget trips contribute no don't-care information.
         self.governor = governor
+        #: Dynamic reordering for the per-partition traversal managers
+        #: (the ``--auto-reorder`` knob): re-sift when a traversal's
+        #: manager grows by ``reorder_threshold`` nodes.  Don't-care
+        #: results leave through name-keyed transfer, so this is
+        #: output-invariant.
+        self.auto_reorder = auto_reorder
+        self.reorder_threshold = reorder_threshold
         self._results: dict[int, ReachabilityResult] = {}
 
     def reachability(self, index: int) -> ReachabilityResult:
@@ -63,7 +72,14 @@ class DontCareManager:
         request, cached in the partition's own node space)."""
         result = self._results.get(index)
         if result is None:
-            ts = TransitionSystem(self.network, self.partitions[index].latches)
+            manager = None
+            if self.auto_reorder:
+                manager = BDDManager(
+                    auto_reorder_threshold=self.reorder_threshold
+                )
+            ts = TransitionSystem(
+                self.network, self.partitions[index].latches, manager=manager
+            )
             budget = self.time_budget
             if self.governor is not None:
                 budget = self.governor.time_slice(budget)
@@ -73,6 +89,7 @@ class DontCareManager:
                 max_iterations=self.max_iterations,
                 time_budget=budget,
                 governor=self.governor,
+                auto_reorder=self.auto_reorder,
             )
             self._results[index] = result
         return result

@@ -103,3 +103,38 @@ class TransitionSystem:
 
     def num_state_bits(self) -> int:
         return len(self.latches)
+
+    # -- dynamic reordering -------------------------------------------------
+
+    def reorder_manager(self, extra: Sequence[int] = ()) -> list[int]:
+        """Sift this system's manager and rebuild every owned handle
+        (next-state functions, PS/NS variable maps, the collapser's
+        source-variable map) under the improved order.
+
+        ``extra`` is the caller's live roots (reached set, frontier);
+        their remapped handles are returned in order.  Safe to call only
+        between image steps.  Everything this manager exports leaves via
+        *name*-keyed transfer (see ``DontCareManager.unreachable_for``),
+        so an internal order change is invisible downstream — which is
+        exactly why genuine sifting is allowed here but not in the
+        synthesis collapser manager.
+        """
+        from repro.bdd.reorder import reorder as _reorder
+
+        roots = [self.next_functions[latch] for latch in self.latches]
+        split = len(roots)
+        roots.extend(extra)
+        new_manager, moved, var_map = _reorder(self.manager, roots)
+        self.manager = new_manager
+        self.collapser.manager = new_manager
+        self.collapser._var_of = {
+            name: var_map[var]
+            for name, var in self.collapser._var_of.items()
+        }
+        # Cached cone functions are old-manager nodes; drop them (they
+        # are lazily recomputed — traversal never re-collapses anyway).
+        self.collapser._cache = {}
+        self.ps_var = {l: var_map[self.ps_var[l]] for l in self.latches}
+        self.ns_var = {l: var_map[self.ns_var[l]] for l in self.latches}
+        self.next_functions = dict(zip(self.latches, moved[:split]))
+        return moved[split:]

@@ -57,6 +57,7 @@ def forward_reachable(
     max_iterations: Optional[int] = None,
     time_budget: Optional[float] = None,
     governor=None,
+    auto_reorder: bool = False,
 ) -> ReachabilityResult:
     """Least fixpoint of the image operator from the initial states.
 
@@ -66,6 +67,12 @@ def forward_reachable(
     :class:`repro.engine.governor.ResourceGovernor`, checked between
     image steps; its node budget covers this traversal's manager) stops
     the run early the result is marked unconverged — its complement is
+    still sound.  With ``auto_reorder`` on, iteration boundaries poll
+    the manager's growth trigger (``BDDManager.reorder_due``) and
+    re-sift the whole system (``TransitionSystem.reorder_manager``)
+    when it fires; the reached set leaves this function only through
+    name-keyed transfer, so the final synthesis output is unchanged.
+    An unconverged complement is
     still a sound unreachable-state under-approximation *only* when
     treated per-partition (the reached set is an over-approximation of
     what is reachable in bounded steps but an under-approximation of
@@ -105,6 +112,35 @@ def forward_reachable(
             if governor is not None and governor.out_of_budget():
                 converged = False
                 break
+            if auto_reorder and manager.reorder_due():
+                # Iteration boundary = safe point: the only live handles
+                # are the reached set and frontier, passed through the
+                # rebuild; relations and the step closure are rebuilt
+                # against the re-sifted manager.
+                size_before = manager.num_nodes
+                with _obs.span("reach.reorder"):
+                    reached, frontier = ts.reorder_manager(
+                        [reached, frontier]
+                    )
+                if governor is not None:
+                    governor.detach_manager(manager)
+                    governor.attach_manager(ts.manager)
+                manager = ts.manager
+                if strategy == "monolithic":
+                    relation = ts.monolithic_relation()
+                    step = lambda frontier: image_monolithic(
+                        ts, frontier, relation
+                    )
+                else:
+                    parts = ts.part_relations()
+                    step = lambda frontier: image_early(ts, frontier, parts)
+                if track:
+                    _obs.event(
+                        "bdd.reorder.reach",
+                        iteration=iterations,
+                        nodes_before=size_before,
+                        nodes_after=manager.num_nodes,
+                    )
             image_start = time.perf_counter()
             next_states = step(frontier)
             frontier = manager.apply_and(next_states, manager.negate(reached))
