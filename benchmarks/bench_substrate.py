@@ -18,9 +18,13 @@ rounds (see ``conftest.capture_substrate_metrics``) so the JSON record
 carries cache hit rates without taxing the timed rounds.
 """
 
+import importlib
 import random
+import sys
+import time
 
-from conftest import capture_substrate_metrics
+import pytest
+from conftest import capture_substrate_metrics, stash_extra_metrics
 
 from repro.bdd import BDDManager, and_exists, exists
 from repro.logic.truthtable import TruthTable
@@ -237,6 +241,77 @@ def test_sat_solver(benchmark):
         return solver.solve()
 
     benchmark.pedantic(run, rounds=5)
+
+
+@pytest.mark.ungated
+def test_cone_task_telemetry_overhead(benchmark, request):
+    """Cost of the live-telemetry hooks on the parallel cone hot path.
+
+    ``run_cone_task`` reaches the bus only through ``sys.modules.get``,
+    so a run without the telemetry flags must pay nothing for the hooks.
+    One fixed cone workload is run three ways: the default off path with
+    the bus module not even imported (the pedantic-timed rows), the
+    module imported but no emitter attached, and a live bus draining a
+    real pipe.  The record is informational (``gated: false``) — the
+    number that matters is ``disabled_overhead`` staying ≈0.
+    """
+    from repro.benchgen import iscas_analog
+    from repro.synth.conetask import extract_cone_task, run_cone_task
+
+    network = iscas_analog("s344")
+    sinks = [name for name in network.topological_order()
+             if name in network.nodes
+             and len(network.nodes[name].fanins) >= 2]
+    tasks = [
+        extract_cone_task(network, sink, options={"max_support": 10}).to_dict()
+        for sink in sinks[:12]
+    ]
+
+    def run():
+        for task in tasks:
+            run_cone_task(task)
+
+    def best_of(rounds=5):
+        durations = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run()
+            durations.append(time.perf_counter() - start)
+        return min(durations)
+
+    # Off path: the bus module must be absent from sys.modules, exactly
+    # like a CLI run without telemetry flags.
+    saved = sys.modules.pop("repro.obs.bus", None)
+    try:
+        assert "repro.obs.bus" not in sys.modules
+        benchmark.pedantic(run, rounds=ROUNDS)
+        off = best_of()
+    finally:
+        if saved is not None:
+            sys.modules["repro.obs.bus"] = saved
+
+    # Imported but inactive: the hooks fire but find no emitter.
+    bus_mod = importlib.import_module("repro.obs.bus")
+    inactive = best_of()
+
+    # Live: a real bus, events written into its pipe and drained.
+    bus = bus_mod.TelemetryBus(run_id="bench-overhead")
+    with bus.attached():
+        attached = best_of()
+    bus.close()
+    assert bus.events_dropped == 0
+    assert bus.counts.get("cone.start", 0) >= len(tasks)
+
+    stash_extra_metrics(request, {
+        "telemetry_off_s": round(off, 6),
+        "telemetry_inactive_s": round(inactive, 6),
+        "telemetry_attached_s": round(attached, 6),
+        "disabled_overhead": round(inactive / off - 1.0, 4),
+        "attached_overhead": round(attached / off - 1.0, 4),
+    })
+    print(f"\ncone hot path ({len(tasks)} cones): off {off * 1e3:.1f}ms, "
+          f"imported-inactive {inactive / off:.3f}x, "
+          f"bus-attached {attached / off:.3f}x")
 
 
 def test_technology_mapping(benchmark):

@@ -10,6 +10,8 @@ harness controls; ``wall_time`` is the fallback for older baselines that
 predate per-round timing.  Tests present on only one side are reported
 and skipped: new benchmarks must not fail the gate the run that
 introduces them, and retired ones must not block their own removal.
+Entries flagged ``"gated": false`` (informational rows like the
+telemetry-overhead comparison) are always skipped.
 
 Records also carry an ``instrumented`` flag (did obs collection run
 during the timed rounds?).  Tracing and the runtime monitor are off by
@@ -64,6 +66,12 @@ def compare(
     width = max((len(name) for name in current), default=4)
     print(f"{'test':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}  signal")
     for name in sorted(current):
+        if (current[name].get("gated") is False
+                or baseline.get(name, {}).get("gated") is False):
+            print(f"{name:<{width}}  {'—':>10}  "
+                  f"{entry_time(current[name])[0]:>10.4f}  {'info':>7}  "
+                  f"(ungated row, skipped)")
+            continue
         if name not in baseline:
             print(f"{name:<{width}}  {'—':>10}  "
                   f"{entry_time(current[name])[0]:>10.4f}  {'new':>7}  (skipped)")

@@ -33,6 +33,15 @@ RESULTS_DIR = Path(__file__).parent / "results"
 TIMING_SENSITIVE = {"bench_substrate"}
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "ungated: record this bench's timings in the JSON results but "
+        "exclude them from the regression gate (informational rows like "
+        "the telemetry-overhead comparison)",
+    )
+
+
 def scale_from_env(name: str, default: float) -> float:
     """Workload scale factor, overridable via environment (e.g.
     ``REPRO_E4_SCALE=1.0`` for a full-size, much slower run)."""
@@ -121,12 +130,19 @@ def capture_substrate_metrics(request, fn) -> None:
         fn()
     report = obs.report()
     gauges = report.get("gauges", {})
-    _EXTRA_METRICS[request.node.name] = {
+    stash_extra_metrics(request, {
         "bdd_cache": cache_efficiency(report),
         "bdd_nodes_peak": gauges.get("bdd.nodes.peak"),
         "bdd_managers": gauges.get("bdd.managers.total"),
-    }
+    })
     obs.reset()
+
+
+def stash_extra_metrics(request, extra: dict) -> None:
+    """Merge ``extra`` into the current test's JSON ``metrics`` field
+    (timing-sensitive modules only — instrumented modules already record
+    a full snapshot)."""
+    _EXTRA_METRICS.setdefault(request.node.name, {}).update(extra)
 
 
 def _benchmark_timing(request) -> dict | None:
@@ -150,7 +166,8 @@ def _benchmark_timing(request) -> dict | None:
 def record_bench_json(module: str, test: str, wall_time: float,
                       metrics: dict | None,
                       timing: dict | None = None,
-                      instrumented: bool | None = None) -> Path:
+                      instrumented: bool | None = None,
+                      gated: bool = True) -> Path:
     """Append one test's record to ``results/BENCH_<module>.json``
     (restarting the file once per session, like the text tables).
 
@@ -158,6 +175,7 @@ def record_bench_json(module: str, test: str, wall_time: float,
     timed run — the regression gate refuses to compare instrumented
     timings against uninstrumented baselines, since tracing/monitoring
     is off by default and the committed numbers assume that.
+    ``gated=False`` marks informational rows the gate must skip.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     experiment = module.removeprefix("bench_")
@@ -176,6 +194,8 @@ def record_bench_json(module: str, test: str, wall_time: float,
         entry["timing"] = timing
     if instrumented is not None:
         entry["instrumented"] = instrumented
+    if not gated:
+        entry["gated"] = False
     payload["entries"].append(entry)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
@@ -209,4 +229,5 @@ def _bench_run_record(request):
             module, request.node.name, wall, metrics,
             timing=_benchmark_timing(request),
             instrumented=instrumented,
+            gated=request.node.get_closest_marker("ungated") is None,
         )

@@ -60,6 +60,20 @@ instrumented command writes a crash-diagnostic bundle (exception +
 traceback, obs report, trace tail, BDD manager stats, latest checkpoint
 path) before re-raising; ``--crash-dump PATH`` sets its location.
 
+Live telemetry (same long-run commands): ``--metrics-file PATH``
+atomically rewrites an OpenMetrics text exposition every monitor
+interval, ``--metrics-port PORT`` serves it at
+``http://127.0.0.1:PORT/metrics`` on a daemon thread, and
+``--log-json PATH`` appends a structured JSONL run log (pass
+boundaries, per-cone worker events, run/cone-correlated).  Any of these
+— or ``--status-file`` — also brings up the cross-process telemetry
+bus: worker processes stream per-cone start/progress/heartbeat/degrade
+events to the parent while cones are in flight, status.json gains
+per-worker liveness rows with stalled-cone detection, and ``repro top
+--status-file PATH`` tails it all into a live terminal view.  The whole
+layer is off by default, adds zero imports when off, and is strictly
+out-of-band: synthesis output is bit-identical with telemetry on or off.
+
 The same long-run commands accept ``--ledger PATH``: append this run —
 wall/literal/degradation results, per-pass timings, per-cone rows keyed
 by the canonical task signature — to a persistent SQLite run ledger
@@ -132,7 +146,12 @@ def _obs_finish(args: argparse.Namespace, active: bool, **run_info) -> None:
 
 
 class _Diagnostics:
-    """Per-command tracing/monitoring lifecycle for the CLI flags."""
+    """Per-command tracing/monitoring/telemetry lifecycle for the CLI
+    flags.  This is the *only* place the live-telemetry modules
+    (``repro.obs.bus`` / ``openmetrics`` / ``logging``) are imported —
+    engine layers reach them through ``sys.modules``, so a run without
+    these flags never loads them (the CI telemetry-smoke job asserts it
+    in a fresh interpreter)."""
 
     def __init__(self, args: argparse.Namespace) -> None:
         from repro import obs
@@ -142,8 +161,14 @@ class _Diagnostics:
         self.trace_path = getattr(args, "trace", None)
         status_file = getattr(args, "status_file", None)
         interval = getattr(args, "monitor_interval", 1.0)
+        metrics_file = getattr(args, "metrics_file", None)
+        metrics_port = getattr(args, "metrics_port", None)
+        log_json = getattr(args, "log_json", None)
         self.recorder = None
         self.monitor = None
+        self.logger = None
+        self.bus = None
+        self.exporter = None
         self._enabled_obs = False
         crashdump.clear_crash_context()
         crashdump.set_crash_context(command=getattr(args, "command", None))
@@ -156,13 +181,49 @@ class _Diagnostics:
             self._enabled_obs = True
         if self.trace_path:
             self.recorder = obs_trace.install()
-        if interval and interval > 0 and (self.trace_path or status_file):
+        # Structured run log first, so every later layer (bus mirror,
+        # pipeline boundaries) can write into it from the start.
+        if log_json:
+            from repro.obs import logging as obs_logging
+
+            self.logger = obs_logging.StructuredLogger(log_json)
+            obs_logging.install(self.logger)
+            self.logger.info(
+                "run.start",
+                command=getattr(args, "command", None),
+                argv=list(sys.argv[1:]),
+            )
+        # The telemetry bus backs every live view (status.json worker
+        # rows, OpenMetrics worker gauges, log-mirrored cone events), so
+        # any of those outputs brings it up.  Out-of-band by design:
+        # synthesis output is bit-identical with or without it.
+        if status_file or metrics_file or metrics_port is not None or log_json:
+            from repro.obs import bus as obs_bus
+
+            self.bus = obs_bus.TelemetryBus()
+            obs_bus.activate(self.bus)
+        if metrics_file or metrics_port is not None:
+            from repro.obs import openmetrics as obs_openmetrics
+
+            self.exporter = obs_openmetrics.MetricsExporter(
+                path=metrics_file, port=metrics_port, bus=self.bus
+            )
+            if self.exporter.bound_port is not None:
+                print(
+                    "metrics endpoint: "
+                    f"http://127.0.0.1:{self.exporter.bound_port}/metrics"
+                )
+        if interval and interval > 0 and (
+            self.trace_path or status_file or self.exporter is not None
+        ):
             from repro.obs import RuntimeMonitor
 
             self.monitor = RuntimeMonitor(
                 interval=interval,
                 status_file=status_file,
                 recorder=self.recorder,
+                bus=self.bus,
+                exporter=self.exporter,
             )
             self.monitor.start()
 
@@ -178,14 +239,51 @@ class _Diagnostics:
             self.monitor.governor = governor
         return governor
 
+    def _teardown_telemetry(self, chatter: bool) -> None:
+        """Shared success/crash teardown of the live-telemetry layer, in
+        dependency order: final monitor sample (reads bus), final
+        exposition (reads bus), bus drain/close (mirrors into log), log
+        close last."""
+        if self.monitor is not None:
+            self.monitor.stop()
+            if chatter and self.monitor.status_file is not None:
+                print(f"wrote {self.monitor.status_file}")
+        if self.exporter is not None:
+            self.exporter.close()
+            if chatter and self.exporter.path is not None:
+                print(f"wrote {self.exporter.path}")
+        if self.bus is not None:
+            from repro.obs import bus as obs_bus
+
+            if obs_bus.active() is self.bus:
+                obs_bus.deactivate()
+            self.bus.close()
+        if self.logger is not None:
+            from repro.obs import logging as obs_logging
+
+            self.logger.info(
+                "run.end",
+                bus_events=(
+                    self.bus.events_total() if self.bus is not None else 0
+                ),
+                bus_dropped=(
+                    self.bus.events_dropped if self.bus is not None else 0
+                ),
+            )
+            if obs_logging.active() is self.logger:
+                obs_logging.uninstall()
+            self.logger.close()
+            if chatter and self.logger.path is not None:
+                print(
+                    f"wrote {self.logger.path} "
+                    f"({self.logger.records_written} log records)"
+                )
+
     def finish(self) -> None:
         from repro import obs
         from repro.obs import trace as obs_trace
 
-        if self.monitor is not None:
-            self.monitor.stop()
-            if self.monitor.status_file is not None:
-                print(f"wrote {self.monitor.status_file}")
+        self._teardown_telemetry(chatter=True)
         if self.recorder is not None:
             obs_trace.uninstall()
             written = self.recorder.write(self.trace_path)
@@ -197,14 +295,14 @@ class _Diagnostics:
             obs.disable()
 
     def abort(self) -> None:
-        """Crash-path teardown: stop the sampler thread and uninstall
-        the tracer without the success-path chatter (the crash handler
-        has already flushed the partial trace)."""
+        """Crash-path teardown: stop the sampler thread, close the
+        telemetry layer and uninstall the tracer without the
+        success-path chatter (the crash handler has already flushed the
+        partial trace and embedded the log tail)."""
         from repro import obs
         from repro.obs import trace as obs_trace
 
-        if self.monitor is not None:
-            self.monitor.stop()
+        self._teardown_telemetry(chatter=False)
         if self.recorder is not None:
             obs_trace.uninstall()
         if self._enabled_obs:
@@ -223,6 +321,9 @@ def _diag_begin(args: argparse.Namespace) -> "_Diagnostics | None":
     if (
         getattr(args, "trace", None)
         or getattr(args, "status_file", None)
+        or getattr(args, "metrics_file", None)
+        or getattr(args, "metrics_port", None) is not None
+        or getattr(args, "log_json", None)
     ):
         _ACTIVE_DIAG = _Diagnostics(args)
         return _ACTIVE_DIAG
@@ -270,10 +371,17 @@ def _ledger_begin(
     crashdump.set_crash_context(
         ledger_path=str(ledger.path), ledger_run_id=run_id
     )
-    if _ACTIVE_DIAG is not None and _ACTIVE_DIAG.monitor is not None:
-        _ACTIVE_DIAG.monitor.extra["ledger"] = {
-            "path": str(ledger.path), "run_id": run_id
-        }
+    if _ACTIVE_DIAG is not None:
+        if _ACTIVE_DIAG.monitor is not None:
+            _ACTIVE_DIAG.monitor.extra["ledger"] = {
+                "path": str(ledger.path), "run_id": run_id
+            }
+        # Correlate the live-telemetry streams with the ledger row:
+        # bus records and log lines carry the run id from here on.
+        if _ACTIVE_DIAG.bus is not None:
+            _ACTIVE_DIAG.bus.run_id = run_id
+        if _ACTIVE_DIAG.logger is not None:
+            _ACTIVE_DIAG.logger.run_id = run_id
     return ledger, run_id
 
 
@@ -970,6 +1078,146 @@ def cmd_history(args: argparse.Namespace) -> int:
         ledger.close()
 
 
+def render_top(
+    status: "dict | None",
+    metrics_families: "dict | None" = None,
+    now: "float | None" = None,
+) -> str:
+    """One frame of the ``repro top`` live view, rendered from a
+    status.json sample (and optionally parsed OpenMetrics families).
+    Pure function — the tests drive it directly."""
+    import time as _time
+
+    lines: list[str] = []
+    current = _time.time() if now is None else now
+    if not status:
+        return "repro top — waiting for status file ..."
+    age = max(0.0, current - float(status.get("time_unix") or current))
+    stale = " [STALE]" if age > 3 * float(status.get("interval") or 1.0) else ""
+    lines.append(
+        f"repro top — pid {status.get('pid')}  "
+        f"elapsed {float(status.get('elapsed') or 0.0):8.1f}s  "
+        f"sample #{status.get('sample_index')}  "
+        f"age {age:.1f}s{stale}"
+    )
+    ledger = status.get("ledger")
+    if ledger:
+        lines.append(f"  run: {ledger.get('run_id')} ({ledger.get('path')})")
+    bdd = status.get("bdd") or {}
+    rss = status.get("rss_kb")
+    lines.append(
+        f"  bdd: {int(bdd.get('nodes') or 0):>9} nodes / "
+        f"{int(bdd.get('managers') or 0)} managers"
+        + (f"   rss: {int(rss) // 1024} MiB" if rss else "")
+    )
+    governor = status.get("governor")
+    if governor:
+        budget = f"  budget: {int(governor.get('nodes_allocated') or 0)} nodes"
+        if governor.get("node_budget"):
+            budget += f" / {int(governor['node_budget'])}"
+        if governor.get("remaining_time") is not None:
+            budget += f"   time left: {governor['remaining_time']:.1f}s"
+        lines.append(budget)
+    spans = status.get("spans") or {}
+    if spans:
+        # The deepest active span names the live pipeline phase.
+        deepest = max(spans.values(), key=lambda p: p.count("/"))
+        lines.append(f"  phase: {deepest}")
+    progress = status.get("parallel") or {}
+    if progress.get("parallel.cones.total"):
+        total = int(progress["parallel.cones.total"])
+        merged = int(progress.get("parallel.cones.merged") or 0)
+        degraded = int(progress.get("parallel.cones.degraded") or 0)
+        width = 30
+        filled = int(width * merged / total) if total else 0
+        bar = "#" * filled + "-" * (width - filled)
+        lines.append(
+            f"  cones: [{bar}] {merged}/{total}"
+            + (f"  ({degraded} degraded)" if degraded else "")
+        )
+    bus = status.get("bus")
+    if bus:
+        lines.append(
+            f"  bus: {int(bus.get('events_total') or 0)} events, "
+            f"{int(bus.get('events_dropped') or 0)} dropped, "
+            f"{int(bus.get('workers_stalled') or 0)} stalled"
+        )
+    workers = status.get("workers")
+    if workers:
+        lines.append("")
+        lines.append(
+            f"  {'pid':>8} {'state':<7} {'cone':<20} {'phase':<12} "
+            f"{'in-flight':>9} {'events':>7}"
+        )
+        for worker in workers:
+            in_flight = worker.get("in_flight_s")
+            flight = f"{in_flight:8.1f}s" if in_flight is not None else "        -"
+            state = worker.get("state") or "?"
+            if worker.get("stalled"):
+                state = "STALLED"
+            lines.append(
+                f"  {worker.get('pid'):>8} {state:<7} "
+                f"{(worker.get('sink') or '-'):<20.20} "
+                f"{(worker.get('phase') or '-'):<12.12} "
+                f"{flight} {int(worker.get('events') or 0):>7}"
+            )
+    if metrics_families:
+        pairs = []
+        for name in (
+            "repro_parallel_tasks_total",
+            "repro_pipeline_passes_total",
+            "repro_bdd_nodes_peak",
+        ):
+            family = metrics_families.get(name)
+            if family and family["samples"]:
+                pairs.append(f"{name}={family['samples'][0][1]:g}")
+        if pairs:
+            lines.append("")
+            lines.append("  metrics: " + "  ".join(pairs))
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Tail a run's status.json (+ optional metrics file) into a live
+    refreshing terminal view."""
+    import json as _json
+    import time as _time
+
+    def read_status() -> "dict | None":
+        try:
+            return _json.loads(Path(args.status_file).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def read_metrics() -> "dict | None":
+        if not args.metrics_file:
+            return None
+        from repro.obs import openmetrics as obs_openmetrics
+
+        try:
+            return obs_openmetrics.parse_openmetrics(
+                Path(args.metrics_file).read_text()
+            )
+        except (OSError, ValueError):
+            return None
+
+    frames = 0
+    while True:
+        view = render_top(read_status(), read_metrics())
+        if not args.once and not args.no_clear:
+            print("\x1b[2J\x1b[H", end="")
+        print(view)
+        frames += 1
+        if args.once or (
+            args.iterations is not None and frames >= args.iterations
+        ):
+            return 0
+        try:
+            _time.sleep(max(0.05, args.interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
 def _write_crash_diagnostics(args: argparse.Namespace, exc: BaseException) -> None:
     """Best-effort crash bundle + trace flush for instrumented runs.
 
@@ -1056,6 +1304,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="where to write the crash-diagnostic bundle on an "
                  "unhandled exception (default: repro_crash_<cmd>.json "
                  "for instrumented runs)",
+        )
+        command.add_argument(
+            "--metrics-file", metavar="PATH", default=None,
+            help="atomically rewrite an OpenMetrics text exposition "
+                 "every monitor interval (textfile-collector style)",
+        )
+        command.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="serve the OpenMetrics exposition at "
+                 "http://127.0.0.1:PORT/metrics on a daemon thread "
+                 "(0 picks a free port)",
+        )
+        command.add_argument(
+            "--log-json", metavar="PATH", default=None,
+            help="append a leveled, run-correlated structured JSONL log "
+                 "(pass boundaries, worker cone events) to PATH",
         )
 
     def add_ledger_flag(command: argparse.ArgumentParser) -> None:
@@ -1262,6 +1526,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_ledger_path(h)
     h.add_argument("-o", "--output", required=True)
     h.set_defaults(func=cmd_history)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a running synthesis: tails the "
+             "--status-file (and optionally --metrics-file) another "
+             "repro process is writing",
+    )
+    p.add_argument("--status-file", required=True, metavar="PATH",
+                   help="status.json the observed run rewrites")
+    p.add_argument("--metrics-file", metavar="PATH", default=None,
+                   help="OpenMetrics textfile of the same run")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECS",
+                   help="refresh period (default 1.0)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N frames (default: until Ctrl-C)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame and exit")
+    p.add_argument("--no-clear", action="store_true",
+                   help="do not clear the screen between frames")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("check", help="equivalence check two netlists")
     p.add_argument("left")

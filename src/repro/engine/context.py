@@ -126,7 +126,10 @@ class SynthesisReport:
     #: valid and equivalent — just less optimised.
     degraded: bool = False
     degrade_reason: Optional[str] = None
-    #: Per-pass wall times: ``[{"pass": name, "elapsed": seconds}, ...]``.
+    #: Per-pass rows: wall time plus the product network's size after
+    #: the pass and its delta across it —
+    #: ``[{"pass", "elapsed", "nodes", "nodes_delta", "literals",
+    #: "literals_delta", "latches", "latches_delta"}, ...]``.
     passes: list[dict[str, Any]] = field(default_factory=list)
     #: Free-form data custom passes left in ``context.artifacts``.
     artifacts: dict[str, Any] = field(default_factory=dict)

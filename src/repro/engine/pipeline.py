@@ -93,6 +93,21 @@ class Pipeline:
 
     # -- running ----------------------------------------------------------
 
+    @staticmethod
+    def _network_metrics(context: SynthesisContext) -> dict[str, int]:
+        """Size of the pipeline's current product (nodes / literals /
+        latches), for the per-pass delta rows.  Best-effort: an
+        unreadable network yields an empty dict, never an error."""
+        try:
+            stats = context.result_network().stats()
+            return {
+                "nodes": int(stats["nodes"]),
+                "literals": int(stats["literals"]),
+                "latches": int(stats["latches"]),
+            }
+        except Exception:
+            return {}
+
     def run(
         self,
         context: SynthesisContext,
@@ -130,6 +145,7 @@ class Pipeline:
                     save_checkpoint(checkpoint, self, context, index)
 
                 context.mid_pass_checkpoint = _mid_pass
+            before = self._network_metrics(context)
             began = time.perf_counter()
             try:
                 with _obs.span(f"pipeline.{pass_.name}"):
@@ -145,7 +161,24 @@ class Pipeline:
                 raise
             elapsed = time.perf_counter() - began
             context.mid_pass_checkpoint = None
-            context.pass_log.append({"pass": pass_.name, "elapsed": elapsed})
+            after = self._network_metrics(context)
+            # Per-pass size deltas: what each pass *did* to the product
+            # network, not just how long it took.  Note the decompose
+            # and finalize passes grow ``rebuilt`` while the measured
+            # product switches from ``source`` to ``rebuilt`` — the
+            # delta spans that handover, which is exactly the work the
+            # pass performed on the run's eventual output.
+            log_entry: dict[str, Any] = {
+                "pass": pass_.name, "elapsed": elapsed,
+            }
+            metrics: dict[str, int] = {}
+            for key in ("nodes", "literals", "latches"):
+                if key in after:
+                    metrics[key] = after[key]
+                    if key in before:
+                        metrics[f"{key}_delta"] = after[key] - before[key]
+            log_entry.update(metrics)
+            context.pass_log.append(log_entry)
             # Auto-reorder safe point: between passes no pass-local node
             # handles are live, so the collapser manager may be rebuilt.
             context.maybe_compact_bdds()
@@ -164,6 +197,7 @@ class Pipeline:
                     pass_name=pass_.name,
                     elapsed=elapsed,
                     exhausted=exhausted,
+                    **metrics,
                 )
             # Ledger pass row, appended at the boundary so a crashed run
             # still shows how far it got.  The sys.modules lookup keeps
@@ -171,7 +205,16 @@ class Pipeline:
             ledger_mod = sys.modules.get("repro.obs.ledger")
             if ledger_mod is not None:
                 ledger_mod.record_pass_active(
-                    index, pass_.name, elapsed, exhausted
+                    index, pass_.name, elapsed, exhausted,
+                    metrics=metrics or None,
+                )
+            # Structured run log (sys.modules — CLI-installed only).
+            log_mod = sys.modules.get("repro.obs.logging")
+            if log_mod is not None:
+                log_mod.log_event(
+                    "info", "pipeline.pass", index=index,
+                    pass_name=pass_.name, elapsed=round(elapsed, 6),
+                    exhausted=exhausted, **metrics,
                 )
             if checkpoint is not None:
                 from repro.engine.checkpoint import save_checkpoint

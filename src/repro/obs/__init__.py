@@ -13,6 +13,14 @@ Usage pattern::
 Everything is a no-op while disabled (the default), so library code is
 instrumented unconditionally.  See :mod:`repro.obs.registry` for the
 data model and :mod:`repro.obs.reporting` for rendering/persistence.
+
+The *live telemetry* layer — :mod:`repro.obs.bus` (cross-process worker
+event stream), :mod:`repro.obs.openmetrics` (OpenMetrics exposition)
+and :mod:`repro.obs.logging` (structured JSONL run log) — is
+deliberately **not** re-exported here: those modules are imported only
+by the CLI when their flags are given, and engine layers reach them
+solely through ``sys.modules.get(...)``, so a run without the flags
+never loads them at all.
 """
 
 from repro.obs.registry import (

@@ -146,6 +146,16 @@ def build_crash_bundle(
             info = None
         if info:
             bundle["ledger"] = info
+    # Structured-log tail (same sys.modules idiom): the run's last words
+    # in wall-clock order, even when the log file itself is unavailable.
+    log_mod = sys.modules.get("repro.obs.logging")
+    if log_mod is not None:
+        try:
+            tail = log_mod.active_tail()
+        except Exception:  # pragma: no cover - defensive
+            tail = []
+        if tail:
+            bundle["log_tail"] = tail
     if extra:
         bundle["extra"] = dict(extra)
     return bundle

@@ -214,6 +214,17 @@ class RunLedger:
                 "('schema_version', ?)",
                 (str(SCHEMA_VERSION),),
             )
+        # Additive migration: per-pass network metrics (JSON of node/
+        # literal/latch counts and deltas).  Purely extra data — readers
+        # of older files see NULL — so the schema version is unchanged
+        # and pre-existing ledgers upgrade in place.
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE passes ADD COLUMN metrics TEXT"
+                )
+        except sqlite3.OperationalError:
+            pass  # column already present
 
     def _probe(self) -> None:
         """Fail fast (``LedgerError`` via the caller) on a non-ledger
@@ -300,12 +311,16 @@ class RunLedger:
         name: str,
         elapsed: Optional[float],
         exhausted: bool = False,
+        metrics: Optional[dict[str, Any]] = None,
     ) -> None:
         with self._conn:
             self._conn.execute(
-                "INSERT INTO passes (run_id, idx, pass, elapsed, exhausted) "
-                "VALUES (?,?,?,?,?)",
-                (run_id, index, name, elapsed, int(bool(exhausted))),
+                "INSERT INTO passes (run_id, idx, pass, elapsed, exhausted, "
+                "metrics) VALUES (?,?,?,?,?,?)",
+                (
+                    run_id, index, name, elapsed, int(bool(exhausted)),
+                    json.dumps(metrics, sort_keys=True) if metrics else None,
+                ),
             )
 
     def record_cones(
@@ -395,14 +410,20 @@ class RunLedger:
         return self._run_row(rows[0])
 
     def passes(self, run_id: str) -> list[dict[str, Any]]:
-        return [
-            dict(r)
-            for r in self._conn.execute(
-                "SELECT idx, pass, elapsed, exhausted FROM passes "
-                "WHERE run_id=? ORDER BY seq",
-                (run_id,),
-            )
-        ]
+        rows = []
+        for r in self._conn.execute(
+            "SELECT idx, pass, elapsed, exhausted, metrics FROM passes "
+            "WHERE run_id=? ORDER BY seq",
+            (run_id,),
+        ):
+            row = dict(r)
+            if row.get("metrics"):
+                try:
+                    row["metrics"] = json.loads(row["metrics"])
+                except (TypeError, ValueError):
+                    pass
+            rows.append(row)
+        return rows
 
     def cones(self, run_id: str) -> list[dict[str, Any]]:
         return [
@@ -609,13 +630,20 @@ def _swallow(fn, *args: Any, **kwargs: Any) -> None:
 
 
 def record_pass_active(
-    index: int, name: str, elapsed: Optional[float], exhausted: bool = False
+    index: int,
+    name: str,
+    elapsed: Optional[float],
+    exhausted: bool = False,
+    metrics: Optional[dict[str, Any]] = None,
 ) -> None:
     """Append a pass row to the active run (no-op when none)."""
     if _active is None:
         return
     ledger, run_id = _active
-    _swallow(ledger.record_pass, run_id, index, name, elapsed, exhausted)
+    _swallow(
+        ledger.record_pass, run_id, index, name, elapsed, exhausted,
+        metrics=metrics,
+    )
 
 
 def record_cones_active(rows: list[dict[str, Any]]) -> None:

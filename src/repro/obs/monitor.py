@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
 from pathlib import Path
@@ -51,8 +52,10 @@ def process_rss_kb() -> Optional[int]:
         import resource
 
         rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        # Linux reports KiB, macOS bytes.
-        return rss // 1024 if rss > 1 << 30 else rss
+        # ``ru_maxrss`` units are platform-defined: macOS reports bytes,
+        # Linux (and the BSDs) kibibytes.  Branch on the platform — a
+        # magnitude guess misclassifies any Linux process past 1 GiB.
+        return rss // 1024 if sys.platform == "darwin" else rss
     except Exception:
         return None
 
@@ -73,12 +76,23 @@ class RuntimeMonitor:
         recorder: Optional[Any] = None,
         governor: Optional[Any] = None,
         registry: Optional[Registry] = None,
+        bus: Optional[Any] = None,
+        exporter: Optional[Any] = None,
+        stall_after: Optional[float] = None,
     ) -> None:
         self.interval = interval
         self.status_file = Path(status_file) if status_file else None
         self._recorder = recorder
         self.governor = governor
         self._registry = registry or _global_registry()
+        #: Telemetry bus whose worker aggregate is folded into samples
+        #: (``sample["workers"]`` / ``sample["bus"]``); optional.
+        self.bus = bus
+        #: Metrics exporter refreshed after every sample; optional.
+        self.exporter = exporter
+        #: Liveness horizon for stalled-cone detection (``None`` uses
+        #: the bus default).
+        self.stall_after = stall_after
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._epoch = time.perf_counter()
@@ -196,6 +210,21 @@ class RuntimeMonitor:
             progress = {}
         if progress:
             sample["parallel"] = progress
+        if self.bus is not None:
+            try:
+                workers = self.bus.worker_summary(
+                    stall_after=self.stall_after
+                )
+                sample["workers"] = workers
+                sample["bus"] = {
+                    "events_total": self.bus.events_total(),
+                    "events_dropped": self.bus.events_dropped,
+                    "workers_stalled": sum(
+                        1 for w in workers if w.get("stalled")
+                    ),
+                }
+            except Exception:
+                pass
         for key, value in self.extra.items():
             sample.setdefault(key, value)
         if self.governor is not None:
@@ -224,6 +253,11 @@ class RuntimeMonitor:
                 recorder.counter("governor", values)
         if self.status_file is not None:
             self._write_status(sample)
+        if self.exporter is not None:
+            try:
+                self.exporter.export(sample)
+            except Exception:
+                pass
         self.samples += 1
         self.last_sample = sample
         return sample

@@ -111,13 +111,30 @@ def render_profile(report: dict[str, Any]) -> str:
     if passes:
         lines.append("")
         lines.append("pipeline passes")
-        lines.append(f"  {'#':>3} {'pass':<16} {'elapsed(s)':>11} {'budget':>10}")
+        with_sizes = any("literals" in row for row in passes)
+        header = f"  {'#':>3} {'pass':<16} {'elapsed(s)':>11}"
+        if with_sizes:
+            header += f" {'nodes':>8} {'Δnodes':>8} {'lits':>8} {'Δlits':>8}"
+        header += f" {'budget':>10}"
+        lines.append(header)
         for row in passes:
             status = "EXHAUSTED" if row.get("exhausted") else "ok"
-            lines.append(
+            line = (
                 f"  {int(row['index']):>3} {row['pass_name']:<16} "
-                f"{row['elapsed']:>11.3f} {status:>10}"
+                f"{row['elapsed']:>11.3f}"
             )
+            if with_sizes:
+                def cell(key: str, signed: bool = False) -> str:
+                    value = row.get(key)
+                    if value is None:
+                        return f"{'-':>8}"
+                    return f"{int(value):>+8d}" if signed else f"{int(value):>8d}"
+
+                line += (
+                    f" {cell('nodes')} {cell('nodes_delta', True)}"
+                    f" {cell('literals')} {cell('literals_delta', True)}"
+                )
+            lines.append(line + f" {status:>10}")
     efficiency = cache_efficiency(report)
     if efficiency:
         lines.append("")

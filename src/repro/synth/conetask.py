@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -306,6 +307,10 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
     started_wall = time.time()
     began = time.perf_counter()
     phases: list[dict[str, float]] = []
+    # Live telemetry is reached via sys.modules only: a run without the
+    # bus never imports it, and without an attached pipe every call below
+    # is a single None-check no-op.
+    bus_mod = sys.modules.get("repro.obs.bus")
 
     def phase(name: str):
         class _Phase:
@@ -314,13 +319,16 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
                 return self_inner
 
             def __exit__(self_inner, *exc):
+                dur = time.perf_counter() - self_inner.start
                 phases.append(
                     {
                         "name": name,
                         "start": self_inner.start - began,
-                        "dur": time.perf_counter() - self_inner.start,
+                        "dur": dur,
                     }
                 )
+                if bus_mod is not None:
+                    bus_mod.cone_progress(task.sink, name, dur)
                 return False
 
         return _Phase()
@@ -333,6 +341,8 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
     )
     slice_net = network_from_dict(task.slice)
     sink = task.sink
+    if bus_mod is not None:
+        bus_mod.cone_started(sink, cone_inputs=len(slice_net.inputs))
 
     signature: Optional[str] = None
 
@@ -354,6 +364,13 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
             "nodes_allocated": governor.nodes_allocated(),
         }
         result.update(extra)
+        if bus_mod is not None:
+            bus_mod.cone_finished(
+                sink,
+                action,
+                elapsed=round(result["elapsed"], 6),
+                degrade_reason=result["degrade_reason"],
+            )
         return result
 
     manager = governor.attach_manager(BDDManager())

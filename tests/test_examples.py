@@ -60,6 +60,14 @@ class TestExamples:
         out = run_example("custom_library.py")
         assert "mcnc-like" in out and "verified equivalent" in out
 
+    def test_live_dashboard(self):
+        out = run_example("live_dashboard.py", "s344", "2")
+        assert "repro top — pid" in out
+        assert "bus aggregate" in out
+        assert "dropped" in out and "0 dropped" in out
+        assert "cone completions across" in out
+        assert "OpenMetrics families" in out
+
     def test_profiling(self, tmp_path):
         report = tmp_path / "report.json"
         out = run_example("profiling.py", "s344", str(report))

@@ -166,6 +166,27 @@ class TestGuideSnippets:
         assert model
         ledger.close()
 
+    def test_live_telemetry_snippet(self):
+        from repro.benchgen import iscas_analog
+        from repro.obs import bus as obs_bus
+        from repro.obs import openmetrics
+        from repro.synth import SynthesisOptions, algorithm1
+
+        net = iscas_analog("s344")
+        bus = obs_bus.TelemetryBus(run_id="demo")
+        obs_bus.activate(bus)
+        report = algorithm1(net, SynthesisOptions(parallel_workers=2))
+        obs_bus.deactivate()
+        bus.close()
+
+        snap = bus.snapshot()
+        assert snap["events"]["cone.end"] == snap["events"]["cone.start"]
+        assert snap["events_dropped"] == 0
+        text = openmetrics.render(bus_snapshot=snap)
+        families = openmetrics.parse_openmetrics(text)
+        assert "repro_bus_events_total" in families
+        assert report.network is not None
+
     def test_tracing_snippet(self, tmp_path):
         import json
 

@@ -47,19 +47,26 @@ class _StatusReader:
 
     def _run(self):
         while not self._stop.wait(0.02):
-            if not self.path.exists():
-                continue
-            try:
-                text = self.path.read_text()
-                sample = json.loads(text)
-            except (json.JSONDecodeError, OSError):
-                # A torn read would land here — the atomic temp+rename
-                # contract says this never happens.
-                self.parse_failures += 1
-                continue
-            self.observations.append(
-                (time.monotonic(), self.path.stat().st_mtime, sample)
-            )
+            self._poll()
+        # Drain: the monitor's stop() writes one closing sample right
+        # before the reader is told to stop — read it unconditionally so
+        # the observation list always ends with the final document.
+        self._poll()
+
+    def _poll(self):
+        if not self.path.exists():
+            return
+        try:
+            text = self.path.read_text()
+            sample = json.loads(text)
+        except (json.JSONDecodeError, OSError):
+            # A torn read would land here — the atomic temp+rename
+            # contract says this never happens.
+            self.parse_failures += 1
+            return
+        self.observations.append(
+            (time.monotonic(), self.path.stat().st_mtime, sample)
+        )
 
     def __enter__(self):
         self._thread.start()
