@@ -47,8 +47,20 @@ from repro.bidec.greedy import (
     GreedyXorProfiler,
 )
 from repro.bidec.recursive import DecTree, decompose_recursive
+from repro.bidec.backends import (
+    available_backends,
+    backend_for_interval,
+    make_backend,
+    register_backend,
+    route_backend,
+)
 
 __all__ = [
+    "available_backends",
+    "backend_for_interval",
+    "make_backend",
+    "register_backend",
+    "route_backend",
     "BiDecomposition",
     "decompose_cone",
     "decompose_interval",

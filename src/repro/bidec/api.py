@@ -151,6 +151,7 @@ def decompose_cone(
     objective: str = "balanced",
     sharing_choice: bool = False,
     share_table: Optional[dict[int, str]] = None,
+    backend=None,
 ):
     """One Algorithm 1 decompose step: recursively bi-decompose a widened
     cone interval into a :class:`~repro.bidec.recursive.DecTree`.
@@ -160,6 +161,11 @@ def decompose_cone(
     -> existing network signal) at every recursion level; otherwise the
     plain recursive decomposition with the given ``objective`` runs.
     This is the seam the engine's decompose pass calls through.
+
+    ``backend`` optionally substitutes a registered decomposition
+    backend (:mod:`repro.bidec.backends`) for the per-level symbolic
+    search; the sharing-aware path is BDD-only (its partition scoring
+    enumerates the symbolic space) and ignores it.
     """
     if sharing_choice:
         from repro.bidec.recursive import decompose_recursive_shared
@@ -177,6 +183,7 @@ def decompose_cone(
         max_support=max_support,
         gates=tuple(gates),
         objective=objective,
+        backend=backend,
     )
 
 

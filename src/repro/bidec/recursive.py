@@ -75,6 +75,7 @@ def decompose_recursive(
     leaf_support: int = 2,
     reduce_supports: bool = True,
     minimize_leaves: bool = False,
+    backend=None,
 ) -> DecTree:
     """Recursively bi-decompose an interval into a primitive-gate tree.
 
@@ -85,6 +86,11 @@ def decompose_recursive(
     spent choosing them).  Functions whose support is at most
     ``leaf_support``, or which admit no non-trivial decomposition, become
     ISOP leaves (espresso-minimised with ``minimize_leaves``).
+
+    ``backend`` is an optional decomposition backend object (see
+    :mod:`repro.bidec.backends`) used in place of the symbolic
+    :func:`~repro.bidec.api.decompose_interval` at every level;
+    ``None`` keeps the classic BDD path untouched.
     """
     manager = interval.manager
     if reduce_supports:
@@ -92,9 +98,17 @@ def decompose_recursive(
     support = interval.support()
     if len(support) <= leaf_support:
         return _leaf(interval, minimize_leaves)
-    decomposition = decompose_interval(
-        interval, gates=gates, objective=objective, max_support=max_support
-    )
+    if backend is None:
+        decomposition = decompose_interval(
+            interval, gates=gates, objective=objective, max_support=max_support
+        )
+    else:
+        decomposition = backend.decompose_interval(
+            interval,
+            gates=tuple(gates),
+            objective=objective,
+            max_support=max_support,
+        )
     if decomposition is None:
         return _leaf(interval, minimize_leaves)
     left = decompose_recursive(
@@ -105,6 +119,7 @@ def decompose_recursive(
         leaf_support=leaf_support,
         reduce_supports=reduce_supports,
         minimize_leaves=minimize_leaves,
+        backend=backend,
     )
     right = decompose_recursive(
         Interval.exact(manager, decomposition.g2),
@@ -114,6 +129,7 @@ def decompose_recursive(
         leaf_support=leaf_support,
         reduce_supports=reduce_supports,
         minimize_leaves=minimize_leaves,
+        backend=backend,
     )
     function = _recompose(manager, decomposition.gate, left.function, right.function)
     return DecTree(

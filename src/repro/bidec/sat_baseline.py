@@ -17,6 +17,12 @@ grows partitions greedily with repeated SAT checks instead (the check
 itself is identical), which preserves the comparison the paper draws —
 per-partition explicit checks versus one implicit all-partitions
 computation.  The difference is documented in DESIGN.md.
+
+The CNF itself (three selector-tied copies of ``f``) lives in
+:mod:`repro.bidec.sat_encoding`, shared with the CEGAR backend
+(:mod:`repro.bidec.backends.sat_cegar`); the variable numbering of the
+exact-function case is pinned by a regression test so this baseline's
+behaviour is bit-identical to the pre-split implementation.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from typing import Optional, Sequence
 
 from repro.bdd import count as _count
 from repro.bdd.manager import BDDManager
-from repro.sat.cnf import CnfBuilder, encode_bdd
+from repro.bidec.sat_encoding import SelectorCnf
 from repro.sat.solver import Solver
 
 
@@ -42,45 +48,14 @@ class SatBiDecomposer:
         self.f = f
         self.support = sorted(_count.support(manager, f))
         self.checks_performed = 0
-        self._build()
-
-    def _build(self) -> None:
-        builder = CnfBuilder()
-        # Literal sets: x (original), y1 (copy used in the second
-        # occurrence), y2 (third occurrence).
-        self._x = {v: builder.new_var() for v in self.support}
-        self._b = {v: builder.new_var() for v in self.support}
-        self._c = {v: builder.new_var() for v in self.support}
-        # Selector variables: s1_v true -> copy B agrees with x on v
-        # (variable NOT exclusive to the B-flipped block), similarly s2.
-        self._s1 = {v: builder.new_var() for v in self.support}
-        self._s2 = {v: builder.new_var() for v in self.support}
-        for v in self.support:
-            # s1_v -> (b_v == x_v)
-            builder.add(-self._s1[v], -self._x[v], self._b[v])
-            builder.add(-self._s1[v], self._x[v], -self._b[v])
-            builder.add(-self._s2[v], -self._x[v], self._c[v])
-            builder.add(-self._s2[v], self._x[v], -self._c[v])
-        self._f_x = encode_bdd(self.manager, self.f, self._x, builder)
-        self._f_b = encode_bdd(self.manager, self.f, self._b, builder)
-        self._f_c = encode_bdd(self.manager, self.f, self._c, builder)
-        self._or_gate: Optional[int] = None
-        self._builder = builder
+        self._cnf = SelectorCnf(manager, f, support=self.support)
         self._solver_or: Optional[Solver] = None
         self._solver_xor: Optional[Solver] = None
 
     def _assumptions(
         self, exclusive1: Sequence[int], exclusive2: Sequence[int]
     ) -> list[int]:
-        e1 = set(exclusive1)
-        e2 = set(exclusive2)
-        assumptions = []
-        for v in self.support:
-            # Copy B flips the g1-exclusive block, copy C the
-            # g2-exclusive block; all other variables are tied to x.
-            assumptions.append(-self._s1[v] if v in e1 else self._s1[v])
-            assumptions.append(-self._s2[v] if v in e2 else self._s2[v])
-        return assumptions
+        return self._cnf.selector_assumptions(exclusive1, exclusive2)
 
     def or_decomposable(
         self, exclusive1: Sequence[int], exclusive2: Sequence[int]
@@ -89,10 +64,11 @@ class SatBiDecomposer:
         only ``exclusive1`` and C only ``exclusive2``."""
         self.checks_performed += 1
         if self._solver_or is None:
-            solver = self._builder.to_solver()
-            solver.add_clause([self._f_x])
-            solver.add_clause([-self._f_b])
-            solver.add_clause([-self._f_c])
+            cnf = self._cnf
+            solver = cnf.builder.to_solver()
+            solver.add_clause([cnf.lower_x])
+            solver.add_clause([-cnf.upper_b])
+            solver.add_clause([-cnf.upper_c])
             self._solver_or = solver
         satisfiable = self._solver_or.solve(
             self._assumptions(exclusive1, exclusive2)
@@ -107,26 +83,8 @@ class SatBiDecomposer:
         with the same selectors."""
         self.checks_performed += 1
         if self._solver_xor is None:
-            builder = self._builder
-            self._d = {v: builder.new_var() for v in self.support}
-            for v in self.support:
-                # d agrees with b on g2-exclusive vars (s2 controls) and
-                # with c on g1-exclusive vars (s1 controls): enforce
-                # d == (s1 ? c_path : b-flip) via two chained equalities:
-                # s1_v -> (d_v == c_v); ~s1_v -> (d_v == b_v).
-                builder.add(-self._s1[v], -self._d[v], self._c[v])
-                builder.add(-self._s1[v], self._d[v], -self._c[v])
-                builder.add(self._s1[v], -self._d[v], self._b[v])
-                builder.add(self._s1[v], self._d[v], -self._b[v])
-            f_d = encode_bdd(self.manager, self.f, self._d, builder)
-            parity1 = builder.new_var()
-            parity2 = builder.new_var()
-            parity = builder.new_var()
-            builder.add_xor2(parity1, self._f_x, self._f_b)
-            builder.add_xor2(parity2, self._f_c, f_d)
-            builder.add_xor2(parity, parity1, parity2)
-            builder.add(parity)
-            self._solver_xor = builder.to_solver()
+            self._cnf.extend_xor()
+            self._solver_xor = self._cnf.builder.to_solver()
         satisfiable = self._solver_xor.solve(
             self._assumptions(exclusive1, exclusive2)
         )

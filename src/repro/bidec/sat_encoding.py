@@ -1,0 +1,164 @@
+"""Shared three-copy selector CNF encoding for SAT-based
+bi-decomposition checks.
+
+Both SAT decomposition engines — the per-partition baseline
+(:mod:`repro.bidec.sat_baseline`) and the CEGAR backend
+(:mod:`repro.bidec.backends.sat_cegar`) — reason about the same formula
+family: copies of a function tied together by per-variable *selector*
+variables, so one incremental solver answers decomposability questions
+for every partition via assumptions.  This module is the single encoder
+both build on.
+
+For an interval ``[l, u]`` over support ``x`` the encoding carries three
+variable copies:
+
+* ``x`` — the original point, evaluated against the **lower** bound,
+* ``b`` — a copy tied to ``x`` wherever selector ``s1_v`` is true,
+  evaluated against the **upper** bound,
+* ``c`` — likewise under ``s2_v``, also against the upper bound.
+
+The interval OR-decomposability condition (equation (3.2),
+``l <= ∀xbar1 u + ∀xbar2 u``) then becomes: the partition with
+``b``-freed block ``e1`` and ``c``-freed block ``e2`` is feasible iff
+``l(x) ∧ ¬u(b) ∧ ¬u(c)`` is UNSAT under the selector assumptions.  For a
+completely specified function (``l = u = f``) this degenerates to the
+Lee–Jiang–Hung three-copy check the baseline has always used — the
+variable numbering of that case is pinned by a regression test, so the
+baseline's goldens stay bit-identical.
+
+The AND check dualises through the complement interval
+(``¬u(x) ∧ l(b) ∧ l(c)``); :meth:`SelectorCnf.extend_complement` encodes
+the swapped-bound literals lazily.  The XOR check appends a fourth copy
+``d`` (both blocks freed) plus a parity constraint via
+:meth:`SelectorCnf.extend_xor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bdd import count as _count
+from repro.bdd.manager import BDDManager
+from repro.sat.cnf import CnfBuilder, encode_bdd
+
+
+class SelectorCnf:
+    """Three copies of an interval's bounds with selector-controlled
+    equality, in one :class:`~repro.sat.cnf.CnfBuilder`.
+
+    Variable creation order is part of the contract (the baseline's
+    solver behaviour depends on it): the ``x`` block, then ``b``, ``c``,
+    ``s1``, ``s2`` — each one variable per support var in sorted order —
+    followed by the BDD encodings of ``lower`` over ``x`` and ``upper``
+    over ``b`` and ``c``.  Lazy extensions (:meth:`extend_xor`,
+    :meth:`extend_complement`) only ever append.
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        lower: int,
+        upper: Optional[int] = None,
+        support: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.manager = manager
+        self.lower = lower
+        self.upper = lower if upper is None else upper
+        if support is None:
+            support = sorted(
+                _count.support_multi(manager, [self.lower, self.upper])
+            )
+        self.support = sorted(support)
+        builder = CnfBuilder()
+        self.x = {v: builder.new_var() for v in self.support}
+        self.b = {v: builder.new_var() for v in self.support}
+        self.c = {v: builder.new_var() for v in self.support}
+        # Selector variables: s1_v true -> copy b agrees with x on v
+        # (the variable is NOT in the b-freed block), similarly s2.
+        self.s1 = {v: builder.new_var() for v in self.support}
+        self.s2 = {v: builder.new_var() for v in self.support}
+        for v in self.support:
+            # s1_v -> (b_v == x_v)
+            builder.add(-self.s1[v], -self.x[v], self.b[v])
+            builder.add(-self.s1[v], self.x[v], -self.b[v])
+            builder.add(-self.s2[v], -self.x[v], self.c[v])
+            builder.add(-self.s2[v], self.x[v], -self.c[v])
+        self.lower_x = encode_bdd(manager, self.lower, self.x, builder)
+        self.upper_b = encode_bdd(manager, self.upper, self.b, builder)
+        self.upper_c = encode_bdd(manager, self.upper, self.c, builder)
+        self.builder = builder
+        # Lazily encoded literals (see extend_* below).
+        self.upper_x: Optional[int] = (
+            self.lower_x if self.lower == self.upper else None
+        )
+        self.lower_b: Optional[int] = (
+            self.upper_b if self.lower == self.upper else None
+        )
+        self.lower_c: Optional[int] = (
+            self.upper_c if self.lower == self.upper else None
+        )
+        self.d: Optional[dict[int, int]] = None
+        self.upper_d: Optional[int] = None
+        self.parity: Optional[int] = None
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lower == self.upper
+
+    # -- assumptions ----------------------------------------------------
+
+    def selector_assumptions(
+        self, exclusive1: Sequence[int], exclusive2: Sequence[int]
+    ) -> list[int]:
+        """Selector literals freeing copy ``b`` on ``exclusive1`` and
+        copy ``c`` on ``exclusive2``; every other variable is tied."""
+        e1 = set(exclusive1)
+        e2 = set(exclusive2)
+        assumptions = []
+        for v in self.support:
+            assumptions.append(-self.s1[v] if v in e1 else self.s1[v])
+            assumptions.append(-self.s2[v] if v in e2 else self.s2[v])
+        return assumptions
+
+    # -- lazy extensions ------------------------------------------------
+
+    def extend_complement(self) -> None:
+        """Encode the swapped-bound literals (``upper`` over ``x``,
+        ``lower`` over ``b``/``c``) needed by the AND check on a proper
+        interval.  No-op for exact intervals (the bounds coincide) and on
+        repeat calls."""
+        if self.upper_x is not None:
+            return
+        builder = self.builder
+        self.upper_x = encode_bdd(self.manager, self.upper, self.x, builder)
+        self.lower_b = encode_bdd(self.manager, self.lower, self.b, builder)
+        self.lower_c = encode_bdd(self.manager, self.lower, self.c, builder)
+
+    def extend_xor(self) -> None:
+        """Append the fourth copy ``d`` (freed on both blocks) and the
+        4-way parity constraint of the XOR check (Proposition 3.1 in SAT
+        clothing).  The parity is added as a unit clause, so only solvers
+        snapshotted *after* this call carry it — the baseline builds its
+        OR solver first for exactly that reason.  Idempotent."""
+        if self.parity is not None:
+            return
+        builder = self.builder
+        self.d = {v: builder.new_var() for v in self.support}
+        for v in self.support:
+            # d agrees with b on the c-freed block (s2 controls) and with
+            # c on the b-freed block (s1 controls): enforce
+            # d == (s1 ? c_path : b-flip) via two chained equalities:
+            # s1_v -> (d_v == c_v); ~s1_v -> (d_v == b_v).
+            builder.add(-self.s1[v], -self.d[v], self.c[v])
+            builder.add(-self.s1[v], self.d[v], -self.c[v])
+            builder.add(self.s1[v], -self.d[v], self.b[v])
+            builder.add(self.s1[v], self.d[v], -self.b[v])
+        self.upper_d = encode_bdd(self.manager, self.upper, self.d, builder)
+        parity1 = builder.new_var()
+        parity2 = builder.new_var()
+        parity = builder.new_var()
+        builder.add_xor2(parity1, self.lower_x, self.upper_b)
+        builder.add_xor2(parity2, self.upper_c, self.upper_d)
+        builder.add_xor2(parity, parity1, parity2)
+        builder.add(parity)
+        self.parity = parity

@@ -479,6 +479,8 @@ def _synthesis_options(args: argparse.Namespace):
         worker_timeout=args.worker_timeout,
         auto_reorder=args.auto_reorder,
         reorder_threshold=args.reorder_threshold,
+        backend=args.backend,
+        cegar_iterations=args.cegar_iterations,
     )
 
 
@@ -995,6 +997,7 @@ def _history_show(ledger, args) -> int:
             print(
                 f"    {cone['sink']:<16} {cone.get('action') or '-':<10} "
                 f"{f'{elapsed:.3f}s' if elapsed is not None else '-':>8} "
+                f"{cone.get('backend') or '-':<9} "
                 f"inputs={cone.get('cone_inputs')} "
                 f"key={cone.get('task_key') or '-'}"
             )
@@ -1384,6 +1387,16 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--reorder-threshold", type=int, default=50000,
                              help="node growth since the last rebuild that "
                                   "triggers --auto-reorder")
+        command.add_argument("--backend",
+                             choices=("bdd", "sat-cegar", "auto"),
+                             default="bdd",
+                             help="bi-decomposition backend: the symbolic "
+                                  "BDD enumeration, the CEGAR-solved 2QBF "
+                                  "SAT search, or per-cone auto-routing")
+        command.add_argument("--cegar-iterations", type=int, default=512,
+                             help="CEGAR candidate budget per cone for the "
+                                  "sat-cegar backend (exhaustion degrades "
+                                  "to the BDD backend)")
 
     p = sub.add_parser("optimize", help="run the Algorithm 1 pipeline")
     p.add_argument("file")

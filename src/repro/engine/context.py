@@ -80,6 +80,14 @@ class SynthesisOptions:
     #: Node-growth trigger for auto-reorder (nodes created since the
     #: last rebuild of the same manager).
     reorder_threshold: int = 50000
+    #: Decomposition backend: "bdd" (the paper's symbolic enumeration),
+    #: "sat-cegar" (2QBF partition search CEGAR-solved on the CDCL
+    #: solver), or "auto" (per-cone routing on support size / interval
+    #: node count — see :func:`repro.bidec.backends.route_backend`).
+    backend: str = "bdd"
+    #: CEGAR candidate budget per cone for the sat-cegar backend;
+    #: exhaustion degrades to the BDD backend instead of raising.
+    cegar_iterations: int = 512
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly view (tuples become lists)."""
@@ -111,6 +119,9 @@ class SignalRecord:
     action: str  # "decomposed" | "kept-cost" | "kept-large" | "copied"
     tree_cost: Optional[int] = None
     original_cost: Optional[int] = None
+    #: Decomposition backend that handled the cone ("bdd"/"sat-cegar"),
+    #: ``None`` when no decomposition was attempted (copied/kept-large).
+    backend: Optional[str] = None
 
 
 @dataclass

@@ -363,6 +363,8 @@ class DecomposeParallelPass(_BasePass):
             "sharing_choice": self.opt(context, "sharing_choice"),
             "enable_sharing": self.opt(context, "enable_sharing"),
             "acceptance_ratio": self.opt(context, "acceptance_ratio"),
+            "backend": self.opt(context, "backend"),
+            "cegar_iterations": self.opt(context, "cegar_iterations"),
         }
 
         # -- classification (identical to the serial pass) --------------
@@ -453,6 +455,7 @@ class DecomposeParallelPass(_BasePass):
         context.artifacts["parallel.dispatch"] = {
             "order": list(scheduler.dispatch_order),
             "profile_guided": bool(cost_model),
+            "backend_option": task_options["backend"],
         }
 
         # -- deterministic merge (sink order, not completion order) ------
@@ -479,6 +482,7 @@ class DecomposeParallelPass(_BasePass):
                     "tree_cost": result.get("tree_cost"),
                     "original_cost": result.get("original_cost"),
                     "pid": result.get("pid"),
+                    "backend": result.get("backend"),
                 }
             )
             merges += 1
@@ -507,6 +511,13 @@ class DecomposeParallelPass(_BasePass):
             "degraded": len(degraded_cones),
         }
         context.artifacts["parallel.cone_stats"] = cone_stats
+        # Per-cone routing outcome ("auto" resolved per cone in the
+        # worker) next to the dispatch order it applied to.
+        dispatch = context.artifacts.get("parallel.dispatch")
+        if dispatch is not None:
+            dispatch["backends"] = {
+                row["sink"]: row["backend"] for row in cone_stats
+            }
         # Ledger append via sys.modules — never an import, so ledger-off
         # runs stay I/O-free (bench_ledger asserts the module is absent).
         ledger_mod = sys.modules.get("repro.obs.ledger")
@@ -592,6 +603,7 @@ class DecomposeParallelPass(_BasePass):
                         "decomposed",
                         result.get("tree_cost"),
                         result.get("original_cost"),
+                        backend=result.get("backend"),
                     )
                 )
             )
@@ -609,6 +621,7 @@ class DecomposeParallelPass(_BasePass):
                         "kept-cost",
                         result.get("tree_cost"),
                         result.get("original_cost"),
+                        backend=result.get("backend"),
                     )
                 )
             )

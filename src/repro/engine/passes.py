@@ -213,7 +213,14 @@ class DecomposePass(_BasePass):
             )
             with _obs.span("algorithm1.decompose"):
                 from repro.bidec.api import decompose_cone
+                from repro.bidec.backends import backend_for_interval
 
+                backend_name, backend = backend_for_interval(
+                    self.opt(context, "backend"),
+                    interval,
+                    cegar_iterations=self.opt(context, "cegar_iterations"),
+                    governor=governor,
+                )
                 tree = decompose_cone(
                     interval,
                     max_support=self.opt(context, "max_support"),
@@ -221,6 +228,7 @@ class DecomposePass(_BasePass):
                     objective=self.opt(context, "objective"),
                     sharing_choice=sharing_choice,
                     share_table=context.share_table,
+                    backend=backend,
                 )
             original_cost = cone_literals(source, sink)
             tree_cost = tree.cost()
@@ -235,6 +243,7 @@ class DecomposePass(_BasePass):
                             "kept-cost",
                             tree_cost,
                             original_cost,
+                            backend=backend_name,
                         )
                     )
                 )
@@ -262,6 +271,7 @@ class DecomposePass(_BasePass):
                         "decomposed",
                         tree_cost,
                         original_cost,
+                        backend=backend_name,
                     ),
                     tree,
                 )
@@ -398,6 +408,11 @@ def record(
                 stack.extend(node.children)
         for gate, count in gate_mix.items():
             _obs.inc(f"algorithm1.gates.{gate}", count)
+    if signal_record.backend is not None:
+        _obs.inc(
+            "algorithm1.backend."
+            + signal_record.backend.replace("-", "_")
+        )
     _obs.event(
         "algorithm1.signal",
         signal=signal_record.signal,
@@ -405,5 +420,6 @@ def record(
         cone_inputs=signal_record.cone_inputs,
         tree_cost=signal_record.tree_cost,
         original_cost=signal_record.original_cost,
+        backend=signal_record.backend,
     )
     return signal_record

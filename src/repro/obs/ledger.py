@@ -225,6 +225,15 @@ class RunLedger:
                 )
         except sqlite3.OperationalError:
             pass  # column already present
+        # Additive migration: the decomposition backend that handled
+        # each cone (bdd / sat-cegar; NULL in pre-backend ledgers).
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE cones ADD COLUMN backend TEXT"
+                )
+        except sqlite3.OperationalError:
+            pass  # column already present
 
     def _probe(self) -> None:
         """Fail fast (``LedgerError`` via the caller) on a non-ledger
@@ -328,7 +337,7 @@ class RunLedger:
     ) -> int:
         """Append per-cone rows (dicts with any of ``sink``, ``task_key``,
         ``signature``, ``cone_inputs``, ``action``, ``elapsed``,
-        ``tree_cost``, ``original_cost``, ``pid``)."""
+        ``tree_cost``, ``original_cost``, ``pid``, ``backend``)."""
         payload = [
             (
                 run_id,
@@ -341,6 +350,7 @@ class RunLedger:
                 row.get("tree_cost"),
                 row.get("original_cost"),
                 row.get("pid"),
+                row.get("backend"),
             )
             for row in rows
         ]
@@ -348,7 +358,7 @@ class RunLedger:
             self._conn.executemany(
                 "INSERT INTO cones (run_id, sink, task_key, signature, "
                 "cone_inputs, action, elapsed, tree_cost, original_cost, "
-                "pid) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                "pid, backend) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
                 payload,
             )
         return len(payload)
@@ -430,8 +440,8 @@ class RunLedger:
             dict(r)
             for r in self._conn.execute(
                 "SELECT sink, task_key, signature, cone_inputs, action, "
-                "elapsed, tree_cost, original_cost, pid FROM cones "
-                "WHERE run_id=? ORDER BY seq",
+                "elapsed, tree_cost, original_cost, pid, backend "
+                "FROM cones WHERE run_id=? ORDER BY seq",
                 (run_id,),
             )
         ]

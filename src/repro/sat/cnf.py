@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.bdd.manager import BDDManager, FALSE, TRUE
-from repro.network.netlist import Network
 from repro.sat.solver import Solver
+
+if TYPE_CHECKING:  # break the repro.network <-> repro.sat import cycle
+    from repro.network.netlist import Network
 
 
 class CnfBuilder:

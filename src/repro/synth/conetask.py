@@ -345,6 +345,7 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
         bus_mod.cone_started(sink, cone_inputs=len(slice_net.inputs))
 
     signature: Optional[str] = None
+    backend_name: Optional[str] = None
 
     def base(action: str, **extra: Any) -> dict[str, Any]:
         result = {
@@ -357,6 +358,7 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
             "original_cost": None,
             "replacement": None,
             "degrade_reason": None,
+            "backend": backend_name,
             "pid": os.getpid(),
             "started_wall": started_wall,
             "elapsed": time.perf_counter() - began,
@@ -396,6 +398,14 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
     signature = interval_signature(manager, interval)
 
     with phase("decompose"):
+        from repro.bidec.backends import backend_for_interval
+
+        backend_name, backend = backend_for_interval(
+            options.get("backend", "bdd"),
+            interval,
+            cegar_iterations=int(options.get("cegar_iterations", 512)),
+            governor=governor,
+        )
         share_table: dict[int, str] = {}
         tree = decompose_cone(
             interval,
@@ -404,6 +414,7 @@ def run_cone_task(data: dict[str, Any]) -> dict[str, Any]:
             objective=options.get("objective", "balanced"),
             sharing_choice=bool(options.get("sharing_choice", False)),
             share_table=share_table,
+            backend=backend,
         )
     if governor.out_of_budget():
         return base("copied", degrade_reason=governor.reason)

@@ -125,3 +125,45 @@ def cube_sets(draw, num_vars: int = 4, max_cubes: int = 4):
         )
     )
     return cubes
+
+
+def sop_from_cubes(manager, cubes):
+    """OR of ``{var: polarity}`` cubes as a BDD node (FALSE for no
+    cubes) — the deterministic build step for cube-drawing strategies."""
+    from repro.bdd.manager import FALSE
+
+    node = FALSE
+    for cube in cubes:
+        node = manager.apply_or(node, manager.cube(cube))
+    return node
+
+
+@st.composite
+def cones_with_dontcares(
+    draw,
+    min_vars: int = 3,
+    max_vars: int = 6,
+    max_cubes: int = 5,
+    max_dc_cubes: int = 3,
+):
+    """A ``(manager, interval)`` pair: a random SOP cone widened by a
+    random don't-care set into an :class:`~repro.intervals.Interval` —
+    the differential backend harness's input shape.
+
+    Only cube descriptions are drawn (so shrinking stays meaningful);
+    the BDDs are built deterministically from them.  The don't-care set
+    may overlap the onset — ``Interval.with_dont_cares`` normalises to
+    ``[f ∧ ¬dc, f ∨ dc]`` — and may be empty, covering the exact
+    (completely specified) case too.
+    """
+    from repro.bdd import BDDManager
+    from repro.intervals import Interval
+
+    num_vars = draw(st.integers(min_value=min_vars, max_value=max_vars))
+    onset = draw(cube_sets(num_vars=num_vars, max_cubes=max_cubes))
+    dontcare = draw(cube_sets(num_vars=num_vars, max_cubes=max_dc_cubes))
+    manager = BDDManager(num_vars)
+    f = sop_from_cubes(manager, onset)
+    dc = sop_from_cubes(manager, dontcare)
+    interval = Interval.with_dont_cares(manager, f, dc)
+    return manager, interval

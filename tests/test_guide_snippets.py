@@ -61,6 +61,22 @@ class TestGuideSnippets:
         d = decompose_interval(interval)
         assert d is not None and d.verify()
 
+    def test_decomposition_backends_snippet(self):
+        from repro.bdd import BDDManager
+        from repro.bidec import make_backend, route_backend
+        from repro.intervals import Interval
+
+        m = BDDManager(4)
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)), m.apply_and(m.var(2), m.var(3))
+        )
+        interval = Interval.exact(m, f)
+        sat = make_backend("sat-cegar", max_iterations=256)
+        d = sat.decompose_interval(interval)
+        assert d is None or d.verify()
+        assert d is not None  # this cone is OR-decomposable
+        assert route_backend("auto", support_size=14) == "sat-cegar"
+
     def test_recursive_snippet(self):
         from repro.bdd import BDDManager
         from repro.bidec import decompose_recursive

@@ -1,0 +1,99 @@
+"""Regression tests pinning the shared selector-CNF encoding
+(:mod:`repro.bidec.sat_encoding`).
+
+The Lee–Jiang–Hung baseline's solver behaviour (and therefore the
+``test_bidec_sat_baseline`` goldens: check counts, greedy partitions)
+depends on the exact CNF variable numbering.  Splitting the encoder out
+for the CEGAR backend must not move a single variable — these digests
+fail loudly if a refactor reorders anything.
+"""
+
+import hashlib
+
+from repro.bdd import BDDManager
+from repro.bidec.sat_baseline import SatBiDecomposer
+from repro.bidec.sat_encoding import SelectorCnf
+from repro.intervals import Interval
+
+
+def _digest(builder) -> str:
+    text = ";".join(" ".join(map(str, clause)) for clause in builder.clauses)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _reference(manager):
+    """The canonical 4-var pin function ``x0 x1 + x2 x3``."""
+    return manager.apply_or(
+        manager.apply_and(manager.var(0), manager.var(1)),
+        manager.apply_and(manager.var(2), manager.var(3)),
+    )
+
+
+class TestSelectorCnfNumbering:
+    def test_exact_encoding_is_pinned(self):
+        m = BDDManager(4)
+        cnf = SelectorCnf(m, _reference(m))
+        # Variable blocks in creation order: x, b, c, s1, s2 — one var
+        # per support variable, sorted.
+        assert cnf.x == {0: 1, 1: 2, 2: 3, 3: 4}
+        assert cnf.b == {0: 5, 1: 6, 2: 7, 3: 8}
+        assert cnf.c == {0: 9, 1: 10, 2: 11, 3: 12}
+        assert cnf.s1 == {0: 13, 1: 14, 2: 15, 3: 16}
+        assert cnf.s2 == {0: 17, 1: 18, 2: 19, 3: 20}
+        # BDD-encoding output literals for the three copies.
+        assert (cnf.lower_x, cnf.upper_b, cnf.upper_c) == (25, 30, 35)
+        assert cnf.builder.num_vars == 35
+        assert len(cnf.builder.clauses) == 67
+        assert _digest(cnf.builder) == "0b000b62d01f18c2"
+        # Exact interval: the swapped-bound literals alias, no new vars.
+        assert cnf.is_exact
+        assert cnf.upper_x == cnf.lower_x
+        assert cnf.lower_b == cnf.upper_b and cnf.lower_c == cnf.upper_c
+        cnf.extend_complement()
+        assert cnf.builder.num_vars == 35  # no-op on exact intervals
+
+    def test_xor_extension_is_pinned_and_append_only(self):
+        m = BDDManager(4)
+        cnf = SelectorCnf(m, _reference(m))
+        before = [list(c) for c in cnf.builder.clauses]
+        cnf.extend_xor()
+        assert cnf.builder.num_vars == 47
+        assert len(cnf.builder.clauses) == 113
+        assert _digest(cnf.builder) == "de734c1fd9d101eb"
+        # Append-only: the original 67 clauses are untouched, in order.
+        assert [list(c) for c in cnf.builder.clauses[:67]] == before
+        cnf.extend_xor()  # idempotent
+        assert cnf.builder.num_vars == 47
+
+    def test_baseline_goldens_bit_identical(self):
+        """The baseline's observable behaviour on the pin function —
+        the quantities its own test suite asserts on."""
+        m = BDDManager(4)
+        dec = SatBiDecomposer(m, _reference(m))
+        assert dec.support == [0, 1, 2, 3]
+        assert dec.or_decomposable([0], [2])
+        assert not dec.xor_decomposable([0], [2])
+        assert dec.greedy_partition("or") == ({0, 1}, {2, 3})
+        assert dec.checks_performed == 6
+
+    def test_proper_interval_complement_extension(self):
+        """On a proper interval the AND check's swapped-bound literals
+        are lazily appended, never renumbering the original blocks."""
+        m = BDDManager(4)
+        f = _reference(m)
+        dc = m.apply_and(m.var(0), m.var(2))
+        interval = Interval.with_dont_cares(m, f, dc)
+        cnf = SelectorCnf(m, interval.lower, interval.upper)
+        assert not cnf.is_exact
+        assert cnf.upper_x is None
+        base_vars = cnf.builder.num_vars
+        base_clauses = len(cnf.builder.clauses)
+        assert cnf.x == {0: 1, 1: 2, 2: 3, 3: 4}  # block layout unchanged
+        cnf.extend_complement()
+        assert cnf.upper_x is not None and cnf.lower_b is not None
+        assert cnf.builder.num_vars > base_vars
+        assert [tuple(c) for c in cnf.builder.clauses[:base_clauses]]
+        cnf.extend_complement()  # idempotent
+        vars_after = cnf.builder.num_vars
+        cnf.extend_complement()
+        assert cnf.builder.num_vars == vars_after
